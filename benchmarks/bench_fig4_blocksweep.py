@@ -1,0 +1,28 @@
+"""Fig 4 — feature-block size sweep (B in {32..4096}).
+
+Paper: a smaller B is generally better, but dropping below the Dense
+Engine's systolic width (64) under-utilises the array — B=32 is slower
+than B=64 — and very large blocks degrade towards the conventional
+dataflow (up to several-x slowdown).
+"""
+
+from repro.eval.experiments import fig4_block_sweep
+from repro.eval.report import render_fig4
+
+
+def test_fig4_block_sweep(benchmark, harness):
+    points = benchmark.pedantic(fig4_block_sweep, args=(harness,),
+                                rounds=1, iterations=1)
+
+    print()
+    print(render_fig4(points))
+
+    by_block = {p.block: p.slowdown for p in points}
+    # B = 64 is the optimum (the paper's chosen operating point).
+    assert by_block[64] == 1.0
+    assert all(s >= 0.99 for s in by_block.values())
+    # The B = 32 under-utilisation kink.
+    assert by_block[32] > 1.15
+    # Monotonic degradation above the optimum.
+    assert by_block[128] < by_block[1024] < by_block[4096]
+    assert by_block[4096] > 1.4

@@ -1,0 +1,33 @@
+"""Fig 5 — where to spend next-generation hardware resources.
+
+Paper: doubling feature-memory bandwidth wins for small hidden
+dimensions; doubling the Dense Engine wins at large hidden dimensions
+(2.2-2.6x on Cora/Citeseer at 1024); extra Graph Engine memory returns
+the least.
+"""
+
+from repro.eval.experiments import fig5_scaling
+from repro.eval.report import render_fig5
+
+
+def test_fig5_scaling(benchmark, harness):
+    rows = benchmark.pedantic(fig5_scaling, args=(harness,),
+                              rounds=1, iterations=1)
+
+    print()
+    print(render_fig5(rows))
+
+    by_label = {row.label: row.speedups for row in rows}
+    # Bandwidth beats dense compute at hidden dim 16...
+    for dataset in ("Cora", "Citeseer", "Pubmed"):
+        small = by_label[f"{dataset}-16"]
+        assert small["more-feature-bandwidth"] > small["more-dense-compute"]
+    # ...and the ranking flips at hidden dim 1024 on the big-feature sets.
+    for dataset in ("Cora", "Citeseer"):
+        large = by_label[f"{dataset}-1024"]
+        assert large["more-dense-compute"] > large["more-feature-bandwidth"]
+        assert large["more-dense-compute"] > 1.5  # paper: 2.2-2.6x
+    # Graph-memory is the weakest investment overall (paper's takeaway).
+    gmean = by_label["Gmean"]
+    assert gmean["more-graph-memory"] <= gmean["more-dense-compute"]
+    assert gmean["more-graph-memory"] <= gmean["more-feature-bandwidth"]

@@ -1,0 +1,41 @@
+"""Table I — analytic shard-dataflow costs, validated three ways.
+
+The closed forms (src-stationary: ``S*I + (S-1)^2`` reads /
+``S^2-S+1`` writes; dst-stationary: ``(S^2-S+1)*I`` reads / ``S``
+writes) must agree with (a) the residency replay and (b) the DMA
+traffic of actually-compiled programs, for every dataset.
+"""
+
+import pytest
+
+from repro.eval.experiments import table1_dataflow_costs
+from repro.eval.report import render_table1
+
+
+@pytest.mark.parametrize("dataset", ["cora", "citeseer", "pubmed"])
+def test_table1_dataflow_costs(benchmark, dataset):
+    rows = benchmark.pedantic(table1_dataflow_costs,
+                              kwargs={"dataset": dataset,
+                                      "feature_block": None},
+                              rounds=1, iterations=1)
+
+    print()
+    print(f"[{dataset}]")
+    print(render_table1(rows))
+
+    src_row = next(r for r in rows if r.order == "src-stationary")
+    dst_row = next(r for r in rows if r.order == "dst-stationary")
+    # Closed forms == replay, both orders.
+    assert src_row.matches and dst_row.matches
+    # dst-stationary reads more sources but never reloads partials.
+    assert dst_row.compiled_partial_bytes == 0
+    if src_row.grid_side > 1:
+        assert src_row.compiled_partial_bytes > 0
+        assert dst_row.compiled_src_bytes > src_row.compiled_src_bytes
+        # With equal read/write costs dst-stationary wins overall
+        # (why Algorithm 1 is destination-major).
+        src_total = (src_row.compiled_src_bytes
+                     + src_row.compiled_partial_bytes)
+        dst_total = (dst_row.compiled_src_bytes
+                     + dst_row.compiled_partial_bytes)
+        assert dst_total < src_total

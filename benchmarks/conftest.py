@@ -1,0 +1,16 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one evaluation artefact of the paper and
+prints the measured-vs-paper table (run with ``-s`` to see them inline;
+pytest-benchmark reports the wall-clock of regenerating each artefact).
+"""
+
+import pytest
+
+from repro.eval.harness import Harness
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """One shared harness so datasets/params are materialised once."""
+    return Harness()

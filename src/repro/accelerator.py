@@ -1,0 +1,129 @@
+"""Top-level GNNerator model (Fig 2): two engines, one controller, one
+shared feature memory.
+
+:func:`simulate` is the main timing entry point: it compiles (or takes a
+precompiled program), spawns the six unit processes on a fresh DES, runs
+to completion and returns an :class:`ExecutionResult` with end-to-end
+cycles, per-unit busy time, and DRAM traffic — everything the evaluation
+harness needs for Figs 3-5 and Tables I/V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.lowering import compile_workload
+from repro.compiler.program import Program
+from repro.config.accelerator import GNNeratorConfig
+from repro.config.workload import DST_STATIONARY
+from repro.engines.controller import Controller
+from repro.engines.dense.engine import DenseEngine
+from repro.engines.executor import DeadlockError
+from repro.engines.graph.engine import GraphEngine
+from repro.graph.graph import Graph
+from repro.models.layers import Parameters
+from repro.models.stages import GNNModel
+from repro.sim.kernel import Environment
+from repro.sim.memory import DramChannel
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one timed run."""
+
+    cycles: int
+    frequency_ghz: float
+    unit_busy_cycles: dict[str, int] = field(default_factory=dict)
+    dram_bytes_by_unit: dict[str, int] = field(default_factory=dict)
+    dram_bytes_by_purpose: dict[str, int] = field(default_factory=dict)
+    dram_busy_cycles: int = 0
+    num_operations: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(self.dram_bytes_by_unit.values())
+
+    def utilization(self, unit: str) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return min(self.unit_busy_cycles.get(unit, 0) / self.cycles, 1.0)
+
+    @property
+    def dram_utilization(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return min(self.dram_busy_cycles / self.cycles, 1.0)
+
+    def describe(self) -> str:
+        busy = {unit: f"{self.utilization(unit):.0%}"
+                for unit in sorted(self.unit_busy_cycles)}
+        return (f"{self.cycles} cycles ({self.seconds * 1e6:.1f} us), "
+                f"DRAM {self.total_dram_bytes / 1e6:.1f} MB "
+                f"({self.dram_utilization:.0%} busy), unit busy {busy}")
+
+
+class GNNerator:
+    """The assembled accelerator: compile workloads and simulate them."""
+
+    def __init__(self, config: GNNeratorConfig | None = None) -> None:
+        self.config = config if config is not None else GNNeratorConfig()
+
+    def compile(self, graph: Graph, model: GNNModel,
+                params: Parameters | None = None,
+                traversal: str = DST_STATIONARY,
+                feature_block: int | None | str = "config") -> Program:
+        return compile_workload(graph, model, self.config, params=params,
+                                traversal=traversal,
+                                feature_block=feature_block)
+
+    def simulate(self, program: Program,
+                 tracer: Tracer | None = None) -> ExecutionResult:
+        """Replay a compiled program on the discrete-event machine.
+
+        Pass a :class:`~repro.sim.trace.Tracer` to collect per-unit
+        busy windows (see :func:`repro.sim.trace.render_gantt`).
+        """
+        env = Environment()
+        controller = Controller(env)
+        dram = DramChannel(env, self.config.dram)
+        graph_engine = GraphEngine(env, self.config.graph, controller, dram)
+        dense_engine = DenseEngine(env, self.config.dense, controller, dram)
+        graph_engine.launch(program.queues, tracer)
+        dense_engine.launch(program.queues, tracer)
+        env.run()
+        if not (graph_engine.finished() and dense_engine.finished()):
+            stuck = [name for engine in (graph_engine, dense_engine)
+                     for name, proc in engine.processes.items()
+                     if not proc.triggered]
+            raise DeadlockError(
+                f"simulation deadlocked; unfinished units: {stuck}")
+        busy = {}
+        for engine in (graph_engine, dense_engine):
+            for unit, tracker in engine.trackers.items():
+                busy[unit] = tracker.busy_cycles
+        return ExecutionResult(
+            cycles=env.now,
+            frequency_ghz=self.config.graph.frequency_ghz,
+            unit_busy_cycles=busy,
+            dram_bytes_by_unit={
+                unit: counter.total_bytes
+                for unit, counter in dram.counters.items()},
+            dram_bytes_by_purpose=program.dram_bytes_by_purpose(),
+            dram_busy_cycles=dram.busy_cycles,
+            num_operations=program.num_operations,
+        )
+
+    def run(self, graph: Graph, model: GNNModel,
+            params: Parameters | None = None,
+            traversal: str = DST_STATIONARY,
+            feature_block: int | None | str = "config") -> ExecutionResult:
+        """Compile + simulate in one call."""
+        program = self.compile(graph, model, params=params,
+                               traversal=traversal,
+                               feature_block=feature_block)
+        return self.simulate(program)

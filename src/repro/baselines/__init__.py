@@ -1,0 +1,19 @@
+"""Baseline platform models: RTX 2080 Ti (GPU) and HyGCN."""
+
+from repro.baselines.gpu import GpuModel, GpuResult, gpu_latency
+from repro.baselines.hygcn import (
+    HyGCNModel,
+    HyGCNResult,
+    PhaseTime,
+    hygcn_latency,
+)
+
+__all__ = [
+    "GpuModel",
+    "GpuResult",
+    "gpu_latency",
+    "HyGCNModel",
+    "HyGCNResult",
+    "PhaseTime",
+    "hygcn_latency",
+]

@@ -1,0 +1,193 @@
+"""Analytic HyGCN baseline (Yan et al., HPCA 2020).
+
+HyGCN couples an **Aggregation Engine** — SIMD cores that process a
+*single vertex's* feature vector across all lanes (intra-node
+parallelism only) — to a systolic **Combination Engine**, with the
+aggregation always the producer. Three architectural properties drive
+its behaviour relative to GNNerator, and all three are modelled:
+
+1. **Window-based sparsity elimination** — destination vertices are
+   processed in buffer-sized windows; within a window only the features
+   of *distinct referenced sources* are gathered (computed exactly from
+   the graph here). The paper reports this is worth ~1.1x on Cora /
+   Pubmed and ~3x on Citeseer (Sec VI-A); it falls out of the window
+   arithmetic rather than being hard-coded.
+2. **Single-vertex aggregation** — each vertex's neighbourhood is
+   reduced sequentially (``ceil(D / lanes)`` cycles per edge plus a
+   per-vertex pipeline setup), so there is no inter-node parallelism to
+   hide imbalance or small-degree overheads.
+3. **Fixed producer order** — for dense-first networks (GraphSAGE-Pool)
+   the extraction cannot be pipelined behind aggregation: phases
+   serialise and the intermediate makes a DRAM round trip. This is the
+   limitation GNNerator's controller removes (Sec III-C, VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.accelerator import EDGE_BYTES, ELEM_BYTES
+from repro.config.platforms import HyGCNConfig, hygcn_config
+from repro.graph.graph import Graph
+from repro.models.stages import (
+    AggregateStage,
+    ExtractStage,
+    GNNModel,
+)
+
+#: Fraction of peak DRAM bandwidth achieved by windowed feature gathers
+#: (row-granular random access across a large feature matrix).
+GATHER_EFFICIENCY = 0.25
+#: Fraction of peak bandwidth for regular streams.
+STREAM_EFFICIENCY = 0.90
+#: Aggregation pipeline setup cycles charged per destination vertex.
+PER_VERTEX_OVERHEAD = 6
+#: Systolic fill/drain derating of the Combination Engine.
+COMBINATION_OVERHEAD = 1.25
+
+
+@dataclass
+class PhaseTime:
+    """One engine phase of one layer, in cycles."""
+
+    name: str
+    compute_cycles: float
+    memory_cycles: float
+
+    @property
+    def pipelined_cycles(self) -> float:
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def serial_cycles(self) -> float:
+        return self.compute_cycles + self.memory_cycles
+
+
+@dataclass
+class HyGCNResult:
+    """End-to-end latency estimate with per-phase breakdown."""
+
+    cycles: float
+    frequency_ghz: float
+    phases: list[PhaseTime] = field(default_factory=list)
+    elimination_factor: float = 1.0
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    def describe(self) -> str:
+        return (f"{self.seconds * 1e6:.1f} us, sparsity elimination "
+                f"saved {self.elimination_factor:.2f}x source traffic")
+
+
+class HyGCNModel:
+    """Callable latency model for the HyGCN configuration."""
+
+    def __init__(self, config: HyGCNConfig | None = None) -> None:
+        self.config = config if config is not None else hygcn_config()
+
+    # ------------------------------------------------------------------
+    def window_rows(self, dim: int) -> int:
+        """Destination vertices per processing window (double-buffered
+        aggregation buffer holding input + output features)."""
+        per_row = 2 * dim * ELEM_BYTES
+        return max((self.config.agg_buffer_bytes // 2) // per_row, 1)
+
+    def source_gather_rows(self, graph: Graph, dim: int) -> tuple[int, int]:
+        """(rows gathered with elimination, rows streamed without).
+
+        With elimination, each window gathers only its distinct source
+        vertices; without, every window streams the full feature matrix.
+        """
+        window = self.window_rows(dim)
+        num_windows = -(-graph.num_nodes // window)
+        eliminated = 0
+        for start in range(0, graph.num_nodes, window):
+            mask = (graph.dst >= start) & (graph.dst < start + window)
+            eliminated += int(np.unique(graph.src[mask]).size)
+        streamed = graph.num_nodes * num_windows
+        return eliminated, streamed
+
+    # ------------------------------------------------------------------
+    def _bytes_to_cycles(self, num_bytes: float, efficiency: float) -> float:
+        per_cycle = self.config.dram.bytes_per_cycle * efficiency
+        return num_bytes / per_cycle
+
+    def aggregation_phase(self, stage: AggregateStage,
+                          graph: Graph) -> tuple[PhaseTime, float]:
+        """Aggregation Engine time plus the achieved elimination factor."""
+        dim = stage.dim
+        gathered, streamed = self.source_gather_rows(graph, dim)
+        if self.config.sparsity_elimination:
+            feature_cycles = self._bytes_to_cycles(
+                gathered * dim * ELEM_BYTES, GATHER_EFFICIENCY)
+        else:
+            feature_cycles = self._bytes_to_cycles(
+                streamed * dim * ELEM_BYTES, STREAM_EFFICIENCY)
+        edge_cycles = self._bytes_to_cycles(
+            graph.num_edges * EDGE_BYTES, STREAM_EFFICIENCY)
+        slots = -(-dim // self.config.agg_lanes)
+        compute = (graph.num_edges * slots
+                   + graph.num_nodes * (PER_VERTEX_OVERHEAD + slots))
+        elimination = streamed / max(gathered, 1)
+        return (PhaseTime(name="aggregate",
+                          compute_cycles=float(compute),
+                          memory_cycles=feature_cycles + edge_cycles),
+                elimination)
+
+    def combination_phase(self, stage: ExtractStage,
+                          graph: Graph) -> PhaseTime:
+        """Combination Engine time (inputs arrive on-chip from the
+        tightly-coupled aggregation engine; outputs stream to DRAM)."""
+        macs = graph.num_nodes * stage.weight_in_dim * stage.out_dim
+        compute = macs / self.config.comb_macs * COMBINATION_OVERHEAD
+        out_bytes = graph.num_nodes * stage.out_dim * ELEM_BYTES
+        weight_bytes = stage.weight_in_dim * stage.out_dim * ELEM_BYTES
+        memory = self._bytes_to_cycles(out_bytes + weight_bytes,
+                                       STREAM_EFFICIENCY)
+        return PhaseTime(name=f"combine:{stage.name}",
+                         compute_cycles=float(compute),
+                         memory_cycles=memory)
+
+    # ------------------------------------------------------------------
+    def run(self, graph: Graph, model: GNNModel) -> HyGCNResult:
+        """Estimate one forward pass.
+
+        Graph-first layers pipeline aggregation and combination (take
+        the max); dense-first layers serialise (sum) and pay a DRAM
+        round trip for the intermediate — HyGCN's fixed producer order.
+        """
+        total = 0.0
+        phases: list[PhaseTime] = []
+        elimination = 1.0
+        for layer in model.layers:
+            layer_phases: list[PhaseTime] = []
+            for stage in layer.stages:
+                if isinstance(stage, AggregateStage):
+                    phase, elim = self.aggregation_phase(stage, graph)
+                    elimination = max(elimination, elim)
+                else:
+                    phase = self.combination_phase(stage, graph)
+                layer_phases.append(phase)
+            if layer.producer == "graph":
+                total += max(p.pipelined_cycles for p in layer_phases)
+            else:
+                # Serialised phases + intermediate round trip via DRAM.
+                total += sum(p.serial_cycles for p in layer_phases)
+                roundtrip = 2 * graph.num_nodes * layer.stages[0].out_dim \
+                    * ELEM_BYTES
+                total += self._bytes_to_cycles(roundtrip, STREAM_EFFICIENCY)
+            phases.extend(layer_phases)
+        return HyGCNResult(cycles=total,
+                           frequency_ghz=self.config.frequency_ghz,
+                           phases=phases,
+                           elimination_factor=elimination)
+
+
+def hygcn_latency(graph: Graph, model: GNNModel,
+                  config: HyGCNConfig | None = None) -> float:
+    """Convenience wrapper returning seconds."""
+    return HyGCNModel(config).run(graph, model).seconds

@@ -1,0 +1,173 @@
+"""Command-line interface: regenerate any paper artefact.
+
+Usage::
+
+    gnnerator fig3            # speedups over the 2080 Ti
+    gnnerator fig4            # feature-block size sweep
+    gnnerator fig5            # next-generation scaling study
+    gnnerator table1          # shard dataflow cost validation
+    gnnerator table5          # GNNerator vs HyGCN
+    gnnerator configs         # Tables II, III, IV
+    gnnerator run cora gcn    # one workload with full statistics
+
+(or ``python -m repro ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accelerator import GNNerator
+from repro.config.platforms import gnnerator_config, platform_table
+from repro.config.workload import WorkloadSpec
+from repro.eval.experiments import (
+    fig3_speedups,
+    fig4_block_sweep,
+    fig5_scaling,
+    table1_dataflow_costs,
+    table5_hygcn,
+)
+from repro.eval.harness import Harness
+from repro.eval.report import (
+    format_table,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_table1,
+    render_table5,
+)
+from repro.graph.datasets import dataset_table
+from repro.models.zoo import network_table
+
+
+def _cmd_fig3(_: argparse.Namespace) -> str:
+    return render_fig3(fig3_speedups())
+
+
+def _cmd_fig4(_: argparse.Namespace) -> str:
+    return render_fig4(fig4_block_sweep())
+
+
+def _cmd_fig5(_: argparse.Namespace) -> str:
+    return render_fig5(fig5_scaling())
+
+
+def _cmd_table1(_: argparse.Namespace) -> str:
+    return render_table1(table1_dataflow_costs())
+
+
+def _cmd_table5(_: argparse.Namespace) -> str:
+    return render_table5(table5_hygcn())
+
+
+def _cmd_configs(_: argparse.Namespace) -> str:
+    parts = [
+        format_table(dataset_table(), title="Table II — graph datasets"),
+        format_table(network_table(),
+                     title="Table III — graph neural networks"),
+        format_table(platform_table(),
+                     title="Table IV — compute platforms"),
+    ]
+    return "\n\n".join(parts)
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    spec = WorkloadSpec(dataset=args.dataset, network=args.network,
+                        feature_block=args.block,
+                        hidden_dim=args.hidden_dim)
+    harness = Harness()
+    accelerator = GNNerator(gnnerator_config(feature_block=args.block))
+    result = accelerator.run(harness.graph(spec.dataset),
+                             harness.model(spec),
+                             params=harness.params(spec),
+                             feature_block=args.block)
+    lines = [f"workload: {spec.label} (B={args.block})",
+             f"result:   {result.describe()}"]
+    gpu = harness.gpu_seconds(spec)
+    hygcn = harness.hygcn_seconds(spec)
+    lines.append(f"GPU baseline:   {gpu * 1e6:.1f} us "
+                 f"({gpu / result.seconds:.1f}x slower)")
+    lines.append(f"HyGCN baseline: {hygcn * 1e6:.1f} us "
+                 f"({hygcn / result.seconds:.1f}x slower)")
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.sim.trace import Tracer, render_gantt
+
+    spec = WorkloadSpec(dataset=args.dataset, network=args.network)
+    harness = Harness()
+    accelerator = GNNerator(gnnerator_config())
+    program = accelerator.compile(harness.graph(spec.dataset),
+                                  harness.model(spec),
+                                  params=harness.params(spec))
+    tracer = Tracer()
+    result = accelerator.simulate(program, tracer=tracer)
+    return (f"{spec.label}: {result.describe()}\n\n"
+            f"{render_gantt(tracer)}")
+
+
+def _cmd_bottleneck(args: argparse.Namespace) -> str:
+    from repro.eval.bottleneck import analyze_bottleneck
+
+    harness = Harness()
+    lines = []
+    for hidden in (16, 128, 1024):
+        spec = WorkloadSpec(dataset=args.dataset, network=args.network,
+                            hidden_dim=hidden)
+        config = gnnerator_config()
+        accelerator = GNNerator(config)
+        program = accelerator.compile(harness.graph(spec.dataset),
+                                      harness.model(spec),
+                                      params=harness.params(spec))
+        result = accelerator.simulate(program)
+        report = analyze_bottleneck(program, result, config)
+        lines.append(f"hidden {hidden:>4}: {report.describe()}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gnnerator",
+        description="Regenerate GNNerator (DAC 2021) evaluation artefacts")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in (("fig3", _cmd_fig3), ("fig4", _cmd_fig4),
+                     ("fig5", _cmd_fig5), ("table1", _cmd_table1),
+                     ("table5", _cmd_table5), ("configs", _cmd_configs)):
+        sub.add_parser(name).set_defaults(handler=fn)
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("dataset", choices=("cora", "citeseer", "pubmed"))
+    run.add_argument("network",
+                     choices=("gcn", "graphsage", "graphsage-pool"))
+    run.add_argument("--block", type=int, default=64,
+                     help="feature block size B (default 64)")
+    run.add_argument("--hidden-dim", type=int, default=16)
+    run.set_defaults(handler=_cmd_run)
+    trace = sub.add_parser("trace",
+                           help="render a pipeline Gantt chart")
+    trace.add_argument("dataset", choices=("cora", "citeseer", "pubmed"))
+    trace.add_argument("network",
+                       choices=("gcn", "graphsage", "graphsage-pool"))
+    trace.set_defaults(handler=_cmd_trace)
+    bottleneck = sub.add_parser(
+        "bottleneck",
+        help="which resource binds, across hidden dimensions (Fig 5's "
+             "reasoning)")
+    bottleneck.add_argument("dataset",
+                            choices=("cora", "citeseer", "pubmed"))
+    bottleneck.add_argument("network",
+                            choices=("gcn", "graphsage",
+                                     "graphsage-pool"))
+    bottleneck.set_defaults(handler=_cmd_bottleneck)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Compiled program container and traffic/cycle accounting."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.ir import (
+    MEMORY_OPS,
+    UNITS,
+    CompileError,
+    DmaOp,
+    Operation,
+    op_bytes,
+    op_cycles,
+)
+from repro.dataflow.blocking import BlockPlan
+from repro.graph.partition import ShardGrid
+from repro.models.layers import Parameters
+from repro.models.stages import GNNModel
+
+
+@dataclass
+class Program:
+    """Everything needed to execute a workload on the simulated machine.
+
+    The same program is interpreted twice: functionally
+    (:mod:`repro.compiler.runtime`) and temporally
+    (:mod:`repro.accelerator`). ``order`` preserves global emission
+    order, which respects data dependencies by construction and is what
+    the functional interpreter walks.
+    """
+
+    graph_name: str
+    model: GNNModel
+    params: Parameters
+    traversal: str
+    feature_block: int | None
+    num_nodes: int
+    queues: dict[str, list[Operation]] = field(
+        default_factory=lambda: {unit: [] for unit in UNITS})
+    order: list[Operation] = field(default_factory=list)
+    #: Aggregate-stage shard grids, keyed by (layer, stage).
+    grids: dict[tuple[int, int], ShardGrid] = field(default_factory=dict)
+    #: Block plans keyed by (layer, stage, part) — see lowering.
+    plans: dict[tuple[int, int, str], BlockPlan] = field(
+        default_factory=dict)
+    #: Logical array dimensionalities (rows are always ``num_nodes``).
+    arrays: dict[str, int] = field(default_factory=dict)
+    #: Per-edge Apply weights, keyed by (layer, stage), aligned with the
+    #: parent graph's edge order.
+    edge_weights: dict[tuple[int, int], np.ndarray] = field(
+        default_factory=dict)
+    #: Per-node self-term weights, keyed by (layer, stage).
+    self_weights: dict[tuple[int, int], np.ndarray | None] = field(
+        default_factory=dict)
+    input_array: str = "h.in"
+    output_array: str = ""
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by the lowering pass)
+    # ------------------------------------------------------------------
+    def emit(self, op: Operation) -> Operation:
+        if op.unit not in self.queues:
+            raise CompileError(f"unknown unit {op.unit!r}")
+        self.queues[op.unit].append(op)
+        self.order.append(op)
+        return op
+
+    def declare_array(self, name: str, dim: int) -> str:
+        if dim <= 0:
+            raise CompileError(f"array {name!r} needs a positive dim")
+        existing = self.arrays.get(name)
+        if existing is not None and existing != dim:
+            raise CompileError(
+                f"array {name!r} redeclared with dim {dim} != {existing}")
+        self.arrays[name] = dim
+        return name
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_operations(self) -> int:
+        return len(self.order)
+
+    def dram_bytes_by_purpose(self) -> dict[str, int]:
+        """Total DRAM traffic per purpose tag (Table I benches use this)."""
+        totals: dict[str, int] = defaultdict(int)
+        for op in self.order:
+            if isinstance(op, DmaOp):
+                totals[op.purpose] += op.num_bytes
+            elif isinstance(op, MEMORY_OPS):
+                tag = "agg-partial" if op.partial else "agg-writeback"
+                totals[tag] += op.num_bytes
+        return dict(totals)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(op_bytes(op) for op in self.order)
+
+    def compute_cycles_by_unit(self) -> dict[str, int]:
+        """Serial compute-cycle totals per unit (a lower bound on busy
+        time; the DES adds stalls and overlap)."""
+        totals: dict[str, int] = defaultdict(int)
+        for unit, ops in self.queues.items():
+            for op in ops:
+                totals[unit] += op_cycles(op)
+        return dict(totals)
+
+    def count_ops(self, op_type: type) -> int:
+        return sum(1 for op in self.order if isinstance(op, op_type))
+
+    def describe(self) -> str:
+        per_unit = {unit: len(ops) for unit, ops in self.queues.items()}
+        return (f"Program({self.graph_name} x {self.model.name}, "
+                f"traversal={self.traversal}, B={self.feature_block}, "
+                f"{self.num_operations} ops {per_unit})")

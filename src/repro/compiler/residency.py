@@ -1,0 +1,207 @@
+"""Compile-time residency tracking for the on-chip buffers.
+
+The compiler walks the shard grid in execution order and consults these
+small state machines to decide which DMA operations are actually needed —
+serpentine reuse, edge-buffer hits and partial-sum spills all fall out of
+the replay. The empirical Table I counts of
+:func:`repro.graph.traversal.simulate_residency` are reproduced by
+construction (property-tested).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.compiler.ir import CompileError
+
+
+class SrcBufferState:
+    """One resident source-interval feature block (read-only)."""
+
+    def __init__(self) -> None:
+        self._resident: tuple[str, int, int] | None = None
+        self.loads = 0
+        self.hits = 0
+
+    def access(self, array: str, interval: int, block: int) -> bool:
+        """Returns True when a DMA load must be emitted."""
+        key = (array, interval, block)
+        if self._resident == key:
+            self.hits += 1
+            return False
+        self._resident = key
+        self.loads += 1
+        return True
+
+    def invalidate(self) -> None:
+        self._resident = None
+
+
+@dataclass(frozen=True)
+class DstAction:
+    """What switching the destination accumulator requires."""
+
+    spill_previous: tuple[int, int] | None  # (col, block) to write back
+    reload: bool  # partials must be read back from memory
+    init: bool  # fresh accumulator must be materialised
+
+
+class DstBufferState:
+    """One resident destination-interval accumulator block (read-write).
+
+    Mirrors the hardware policy of
+    :func:`repro.graph.traversal.simulate_residency`: leaving a column
+    with visits remaining spills partial sums; re-entering a previously
+    spilled column reloads them; the final visit writes back and frees
+    the buffer.
+    """
+
+    def __init__(self, visits: dict[tuple[int, int], int]) -> None:
+        #: Remaining shard visits per (col, block) key.
+        self._remaining = dict(visits)
+        self._resident: tuple[int, int] | None = None
+        self._started: set[tuple[int, int]] = set()
+
+    def access(self, col: int, block: int) -> DstAction:
+        key = (col, block)
+        if key not in self._remaining:
+            raise CompileError(f"unplanned column visit {key}")
+        spill = None
+        reload = False
+        init = False
+        if self._resident != key:
+            if (self._resident is not None
+                    and self._remaining[self._resident] > 0):
+                spill = self._resident
+            if key in self._started:
+                reload = True
+            else:
+                init = True
+                self._started.add(key)
+            self._resident = key
+        return DstAction(spill_previous=spill, reload=reload, init=init)
+
+    def visit_done(self, col: int, block: int) -> bool:
+        """Record one visit; returns True when the column-block is
+        complete (final writeback due)."""
+        key = (col, block)
+        self._remaining[key] -= 1
+        if self._remaining[key] < 0:
+            raise CompileError(f"column {key} visited too many times")
+        if self._remaining[key] == 0:
+            self._resident = None
+            return True
+        return False
+
+    def unfinished(self) -> list[tuple[int, int]]:
+        return [key for key, left in self._remaining.items() if left > 0]
+
+
+class LruResidency:
+    """Byte-budgeted LRU residency tracker for an on-chip buffer.
+
+    ``access(key, bytes)`` returns True when a fetch must be emitted
+    (miss), evicting least-recently-used entries to make room.
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "buffer") -> None:
+        if capacity_bytes <= 0:
+            raise CompileError(f"{name} capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._entries: OrderedDict[object, int] = OrderedDict()
+        self.loads = 0
+        self.hits = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._entries.values())
+
+    def access(self, key: object, num_bytes: int) -> bool:
+        if num_bytes > self.capacity_bytes:
+            raise CompileError(
+                f"{self.name}: entry {key!r} ({num_bytes} B) exceeds "
+                f"capacity ({self.capacity_bytes} B)")
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return False
+        while self.used_bytes + num_bytes > self.capacity_bytes:
+            self._entries.popitem(last=False)
+        self._entries[key] = num_bytes
+        self.loads += 1
+        return True
+
+
+class EdgeBufferLru(LruResidency):
+    """LRU cache of shard edge lists in the (double-buffered) edge buffer.
+
+    With dimension blocking the same shard's edges are re-walked once per
+    block (Algorithm 1 lines 3-4); when they are still resident the
+    re-walk costs only on-chip accesses, not DRAM traffic — the overhead
+    trade-off of Sec IV-B.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes, name="edge buffer")
+
+
+@dataclass(frozen=True)
+class OutAction:
+    """What a Dense Engine output-interval visit requires."""
+
+    spill_previous: int | None  # interval whose partials must spill
+    reload: bool  # this interval's partials must be read back
+    first: bool  # first visit ever: assign instead of accumulate
+
+
+class OutBufferState:
+    """Dense Engine output-buffer residency (partial-sum reloads).
+
+    When the whole per-stage output working set fits the (half) output
+    buffer, partial sums never leave the chip and the only bookkeeping is
+    the first-visit flag. Otherwise one interval's accumulators are
+    resident at a time and block-loop revisits pay a spill + reload —
+    the partial-sum cost dimension-blocking introduces (Sec IV-B), which
+    the paper notes is mitigated by increased weight reuse.
+
+    ``visits`` counts the GEMM visits each interval will receive; an
+    interval whose visits are exhausted frees the buffer without a spill
+    (its activation + final store follow immediately).
+    """
+
+    def __init__(self, spilling: bool, visits: dict[int, int]) -> None:
+        self.spilling = spilling
+        self._remaining = dict(visits)
+        self._resident: int | None = None
+        self._started: set[int] = set()
+
+    def access(self, interval: int) -> OutAction:
+        if interval not in self._remaining:
+            raise CompileError(f"unplanned output interval {interval}")
+        first = interval not in self._started
+        self._started.add(interval)
+        if not self.spilling:
+            return OutAction(spill_previous=None, reload=False, first=first)
+        spill = None
+        reload = False
+        if self._resident != interval:
+            if (self._resident is not None
+                    and self._remaining[self._resident] > 0):
+                spill = self._resident
+            reload = not first
+            self._resident = interval
+        return OutAction(spill_previous=spill, reload=reload, first=first)
+
+    def visit_done(self, interval: int) -> bool:
+        """Record one visit; True when the interval's output is final."""
+        self._remaining[interval] -= 1
+        if self._remaining[interval] < 0:
+            raise CompileError(
+                f"output interval {interval} visited too many times")
+        if self._remaining[interval] == 0:
+            if self._resident == interval:
+                self._resident = None
+            return True
+        return False

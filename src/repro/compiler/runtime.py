@@ -1,0 +1,150 @@
+"""Functional runtime: interpret a compiled program over numpy state.
+
+Walks ``program.order`` (emission order, dependency-correct by
+construction) and applies the semantics of each compute operation; DMA,
+credit and handoff operations are timing-only and skipped. The result
+must match :func:`repro.models.reference.reference_forward` to float
+tolerance — the repository's central correctness invariant, exercised by
+the integration and property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.ir import (
+    AccumWritebackOp,
+    ActivationOp,
+    CompileError,
+    GemmOp,
+    InitAccumulatorOp,
+    SelfApplyOp,
+    ShardAggregateOp,
+)
+from repro.compiler.program import Program
+from repro.graph.graph import Graph
+from repro.models.layers import apply_activation
+
+
+class FunctionalState:
+    """Logical feature arrays (the simulated shared feature memory)."""
+
+    def __init__(self, program: Program, graph: Graph) -> None:
+        if graph.num_nodes != program.num_nodes:
+            raise CompileError(
+                "program was compiled for a different graph size")
+        self.program = program
+        self.graph = graph
+        self.arrays: dict[str, np.ndarray] = {}
+        for name, dim in program.arrays.items():
+            self.arrays[name] = np.zeros((graph.num_nodes, dim),
+                                         dtype=np.float32)
+        self.arrays[program.input_array][:] = graph.features
+
+    def view(self, name: str, rows: tuple[int, int],
+             dims: tuple[int, int]) -> np.ndarray:
+        return self.arrays[name][rows[0]:rows[1], dims[0]:dims[1]]
+
+
+def _exec_init(state: FunctionalState, op: InitAccumulatorOp) -> None:
+    view = state.view(op.acc_array, op.rows, op.dims)
+    view[:] = -np.inf if op.mode == "neginf" else 0.0
+
+
+def _exec_self_apply(state: FunctionalState, op: SelfApplyOp) -> None:
+    weights = state.program.self_weights[(op.layer, op.stage)]
+    if weights is None:
+        raise CompileError("SelfApplyOp without self weights")
+    acc = state.view(op.acc_array, op.rows, op.dims)
+    src = state.view(op.src_array, op.rows, op.dims)
+    scaled = src * weights[op.rows[0]:op.rows[1], None]
+    if op.reduce == "sum":
+        acc += scaled
+    else:
+        np.maximum(acc, scaled, out=acc)
+
+
+def _exec_aggregate(state: FunctionalState, op: ShardAggregateOp) -> None:
+    grid = state.program.grids[(op.layer, op.stage)]
+    shard = grid.shard(*op.shard)
+    if shard.num_edges == 0:
+        return
+    weights = state.program.edge_weights[(op.layer, op.stage)]
+    edge_w = weights[shard.edge_ids]
+    src_vals = state.arrays[op.src_array][shard.src, op.dims[0]:op.dims[1]]
+    values = src_vals * edge_w[:, None]
+    acc = state.arrays[op.acc_array]
+    # Shard edges are dst-sorted (see partition.py), so segment
+    # reductions are contiguous — the same order the Reduce Unit sees.
+    boundaries = np.flatnonzero(np.diff(shard.dst)) + 1
+    starts = np.concatenate([[0], boundaries])
+    segment_dst = shard.dst[starts]
+    if op.reduce == "sum":
+        segments = np.add.reduceat(values, starts, axis=0)
+        acc[segment_dst, op.dims[0]:op.dims[1]] += segments
+    else:
+        segments = np.maximum.reduceat(values, starts, axis=0)
+        current = acc[segment_dst, op.dims[0]:op.dims[1]]
+        acc[segment_dst, op.dims[0]:op.dims[1]] = np.maximum(
+            current, segments)
+
+
+def _exec_writeback(state: FunctionalState, op: AccumWritebackOp) -> None:
+    if op.partial or not op.fixup_neginf:
+        return
+    view = state.view(op.acc_array, op.rows, op.dims)
+    view[np.isneginf(view)] = 0.0
+
+
+def _exec_gemm(state: FunctionalState, op: GemmOp) -> None:
+    x = state.view(op.src_array, op.rows, op.src_dims)
+    weight = state.program.params.weight(op.layer, op.stage)
+    w = weight[op.weight_rows[0]:op.weight_rows[1], :]
+    out = state.arrays[op.out_array][op.rows[0]:op.rows[1], :]
+    product = x @ w
+    if op.accumulate:
+        out += product
+    else:
+        out[:] = product
+
+
+def _exec_activation(state: FunctionalState, op: ActivationOp) -> None:
+    out = state.arrays[op.out_array][op.rows[0]:op.rows[1], :]
+    if op.has_bias:
+        bias = state.program.params.bias(op.layer, op.stage)
+        if bias is not None:
+            out += bias
+    out[:] = apply_activation(op.activation, out)
+
+
+_HANDLERS = {
+    InitAccumulatorOp: _exec_init,
+    SelfApplyOp: _exec_self_apply,
+    ShardAggregateOp: _exec_aggregate,
+    AccumWritebackOp: _exec_writeback,
+    GemmOp: _exec_gemm,
+    ActivationOp: _exec_activation,
+}
+
+
+def run_functional(program: Program, graph: Graph) -> np.ndarray:
+    """Execute the program's compute semantics; returns the output array."""
+    state = FunctionalState(program, graph)
+    for op in program.order:
+        handler = _HANDLERS.get(type(op))
+        if handler is not None:
+            handler(state, op)
+    if not program.output_array:
+        raise CompileError("program has no output array")
+    return state.arrays[program.output_array].copy()
+
+
+def run_functional_with_state(program: Program,
+                              graph: Graph) -> FunctionalState:
+    """As :func:`run_functional` but returns all intermediate arrays."""
+    state = FunctionalState(program, graph)
+    for op in program.order:
+        handler = _HANDLERS.get(type(op))
+        if handler is not None:
+            handler(state, op)
+    return state

@@ -1,0 +1,59 @@
+"""Configuration layer: hardware platforms and workload specifications."""
+
+from repro.config.accelerator import (
+    EDGE_BYTES,
+    ELEM_BYTES,
+    KIB,
+    MIB,
+    ConfigError,
+    DenseEngineConfig,
+    DramConfig,
+    GNNeratorConfig,
+    GraphEngineConfig,
+)
+from repro.config.platforms import (
+    GpuConfig,
+    HyGCNConfig,
+    gnnerator_config,
+    hygcn_config,
+    next_generation_variants,
+    platform_table,
+    rtx_2080_ti_config,
+)
+from repro.config.workload import (
+    DST_STATIONARY,
+    FIG3_DATASETS,
+    FIG3_NETWORKS,
+    SRC_STATIONARY,
+    TRAVERSAL_ORDERS,
+    WorkloadSpec,
+    fig3_workloads,
+    fig5_workloads,
+)
+
+__all__ = [
+    "EDGE_BYTES",
+    "ELEM_BYTES",
+    "KIB",
+    "MIB",
+    "ConfigError",
+    "DenseEngineConfig",
+    "DramConfig",
+    "GNNeratorConfig",
+    "GraphEngineConfig",
+    "GpuConfig",
+    "HyGCNConfig",
+    "gnnerator_config",
+    "hygcn_config",
+    "next_generation_variants",
+    "platform_table",
+    "rtx_2080_ti_config",
+    "DST_STATIONARY",
+    "FIG3_DATASETS",
+    "FIG3_NETWORKS",
+    "SRC_STATIONARY",
+    "TRAVERSAL_ORDERS",
+    "WorkloadSpec",
+    "fig3_workloads",
+    "fig5_workloads",
+]

@@ -1,0 +1,251 @@
+"""Hardware configuration dataclasses for GNNerator and its baselines.
+
+All cycle arithmetic in the simulator is done in core clock cycles. The
+configurations below record physical parameters (sizes in bytes, bandwidth
+in bytes/second, clock in GHz) and expose derived quantities (bytes per
+cycle, peak FLOP/s) as properties so every consumer derives them the same
+way.
+
+The default values reproduce Table IV of the paper:
+
+* Dense Engine: 64x64 MAC systolic array @ 1 GHz (8.2 TFLOP/s), 6 MiB of
+  double-buffered scratchpad split between input/weight/output buffers.
+* Graph Engine: 32 GPEs x 32 SIMD lanes @ 1 GHz (2.0 TFLOP/s), 24 MiB of
+  double-buffered scratchpad split between source-feature, destination-
+  feature (accumulator) and edge buffers.
+* Shared feature memory: 256 GB/s DRAM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Bytes per scalar feature element (fp32 end to end, as in Table II sizes).
+ELEM_BYTES = 4
+
+#: Bytes per edge record: 32-bit source id + 32-bit destination id.
+EDGE_BYTES = 8
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class DenseEngineConfig:
+    """Systolic-array feature-extraction engine (Sec III-A).
+
+    The engine is a ``rows x cols`` grid of MAC units fed by double-buffered
+    input and weight scratchpads, draining through a 1-D activation unit
+    into a double-buffered output scratchpad. ``dataflow`` selects the
+    systolic schedule modelled by :mod:`repro.engines.dense.systolic`.
+    """
+
+    rows: int = 64
+    cols: int = 64
+    input_buffer_bytes: int = 2 * MIB
+    weight_buffer_bytes: int = 2 * MIB
+    output_buffer_bytes: int = 2 * MIB
+    # "auto" lets the mapper choose weight- or output-stationary per
+    # GEMM; mapping the contraction (feature block) onto the array's
+    # rows under ws is what makes B >= array width the efficient
+    # operating point (Fig 4).
+    dataflow: str = "auto"  # "ws", "os", or "auto"
+    frequency_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigError("systolic array dimensions must be positive")
+        if self.dataflow not in ("os", "ws", "auto"):
+            raise ConfigError(f"unknown dense dataflow {self.dataflow!r}")
+        for name in ("input_buffer_bytes", "weight_buffer_bytes",
+                     "output_buffer_bytes"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def macs(self) -> int:
+        """Number of MAC units in the array."""
+        return self.rows * self.cols
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s (each MAC is 2 FLOPs per cycle)."""
+        return self.macs * 2 * self.frequency_ghz * 1e9
+
+    @property
+    def total_buffer_bytes(self) -> int:
+        return (self.input_buffer_bytes + self.weight_buffer_bytes
+                + self.output_buffer_bytes)
+
+    def scaled(self, factor: int) -> "DenseEngineConfig":
+        """Return a copy with both array dimensions scaled by ``factor``.
+
+        Used by the Fig 5 "more DNN Engine compute" next-generation variant,
+        which doubles both the height and the width of the array.
+        """
+        return dataclasses.replace(
+            self, rows=self.rows * factor, cols=self.cols * factor)
+
+
+@dataclass(frozen=True)
+class GraphEngineConfig:
+    """Shard-oriented aggregation engine (Sec III-B).
+
+    ``num_gpes`` Graph Processing Elements each own ``simd_width`` Apply /
+    Reduce lanes; edges of a shard are distributed over GPEs so multiple
+    destination nodes are processed concurrently (inter-node parallelism)
+    while the SIMD lanes cover feature dimensions (intra-node parallelism).
+
+    The scratchpad is split three ways and every buffer is double-buffered:
+    while shard *k* is being computed, shard *k+1* is prefetched into the
+    other half. Capacity planning therefore uses half of each buffer.
+    """
+
+    num_gpes: int = 32
+    simd_width: int = 32
+    src_feature_buffer_bytes: int = 11 * MIB
+    dst_feature_buffer_bytes: int = 11 * MIB
+    edge_buffer_bytes: int = 2 * MIB
+    frequency_ghz: float = 1.0
+    #: Pipeline fill latency of a GPE (edge decode -> fetch -> apply -> reduce).
+    pipeline_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_gpes <= 0 or self.simd_width <= 0:
+            raise ConfigError("GPE and SIMD dimensions must be positive")
+        for name in ("src_feature_buffer_bytes", "dst_feature_buffer_bytes",
+                     "edge_buffer_bytes"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def lanes(self) -> int:
+        """Total SIMD lanes across all GPEs."""
+        return self.num_gpes * self.simd_width
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s (each lane does one MAC = 2 FLOPs per cycle)."""
+        return self.lanes * 2 * self.frequency_ghz * 1e9
+
+    @property
+    def total_buffer_bytes(self) -> int:
+        return (self.src_feature_buffer_bytes + self.dst_feature_buffer_bytes
+                + self.edge_buffer_bytes)
+
+    @property
+    def usable_src_bytes(self) -> int:
+        """Source-feature bytes available to one shard (double buffering)."""
+        return self.src_feature_buffer_bytes // 2
+
+    @property
+    def usable_dst_bytes(self) -> int:
+        """Destination-accumulator bytes available to one shard."""
+        return self.dst_feature_buffer_bytes // 2
+
+    @property
+    def usable_edge_bytes(self) -> int:
+        """Edge-record bytes available to one shard."""
+        return self.edge_buffer_bytes // 2
+
+    def scaled_memory(self, factor: int) -> "GraphEngineConfig":
+        """Return a copy with all scratchpads scaled by ``factor``.
+
+        Used by the Fig 5 "more Graph Engine memory" variant.
+        """
+        return dataclasses.replace(
+            self,
+            src_feature_buffer_bytes=self.src_feature_buffer_bytes * factor,
+            dst_feature_buffer_bytes=self.dst_feature_buffer_bytes * factor,
+            edge_buffer_bytes=self.edge_buffer_bytes * factor)
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Shared feature-memory DRAM channel.
+
+    Modelled as a bandwidth server: a burst of ``n`` bytes occupies the
+    channel for ``n / bytes_per_cycle`` cycles after an initial
+    ``burst_latency_cycles`` access latency.
+    """
+
+    bandwidth_bytes_per_s: float = 256e9
+    burst_latency_cycles: int = 100
+    frequency_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if self.burst_latency_cycles < 0:
+            raise ConfigError("burst latency cannot be negative")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Sustained bytes transferred per core clock cycle."""
+        return self.bandwidth_bytes_per_s / (self.frequency_ghz * 1e9)
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Cycles for one burst of ``num_bytes`` (latency + occupancy)."""
+        if num_bytes < 0:
+            raise ConfigError("cannot transfer a negative byte count")
+        if num_bytes == 0:
+            return 0
+        occupancy = int(round(num_bytes / self.bytes_per_cycle))
+        return self.burst_latency_cycles + max(occupancy, 1)
+
+    def scaled(self, factor: int) -> "DramConfig":
+        """Return a copy with bandwidth scaled by ``factor`` (Fig 5)."""
+        return dataclasses.replace(
+            self,
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s * factor)
+
+
+@dataclass(frozen=True)
+class GNNeratorConfig:
+    """Complete GNNerator platform: both engines plus the shared DRAM."""
+
+    name: str = "gnnerator"
+    dense: DenseEngineConfig = dataclasses.field(
+        default_factory=DenseEngineConfig)
+    graph: GraphEngineConfig = dataclasses.field(
+        default_factory=GraphEngineConfig)
+    dram: DramConfig = dataclasses.field(default_factory=DramConfig)
+    #: Default feature-block size; ``None`` means "disable blocking"
+    #: (equivalently B = D, the conventional dataflow of Sec IV-A).
+    feature_block: int | None = 64
+    #: HyGCN-style window sparsity elimination: gather only the source
+    #: features each shard actually touches instead of whole intervals.
+    #: The paper notes this optimisation "is orthogonal to our work and
+    #: can be added to GNNerator" (Sec VI-A) — off by default to match
+    #: the evaluated configuration.
+    sparsity_elimination: bool = False
+
+    def __post_init__(self) -> None:
+        if self.feature_block is not None and self.feature_block <= 0:
+            raise ConfigError("feature_block must be positive or None")
+
+    @property
+    def peak_flops(self) -> float:
+        return self.dense.peak_flops + self.graph.peak_flops
+
+    @property
+    def on_chip_bytes(self) -> int:
+        return self.dense.total_buffer_bytes + self.graph.total_buffer_bytes
+
+    def with_feature_block(self, block: int | None) -> "GNNeratorConfig":
+        """Return a copy using a different feature-block size."""
+        return dataclasses.replace(self, feature_block=block)
+
+    def describe(self) -> str:
+        """One-line summary used by reports (mirrors a Table IV column)."""
+        return (f"{self.name}: {self.peak_flops / 1e12:.1f} TFLOP/s "
+                f"({self.graph.peak_flops / 1e12:.0f} Graph / "
+                f"{self.dense.peak_flops / 1e12:.0f} Dense), "
+                f"{self.on_chip_bytes / MIB:.0f} MiB on-chip, "
+                f"{self.dram.bandwidth_bytes_per_s / 1e9:.0f} GB/s DRAM")

@@ -1,0 +1,209 @@
+"""Platform presets reproducing Table IV of the paper.
+
+Three compute platforms are evaluated:
+
+* **GNNerator** — 10 TFLOP/s (2 Graph + 8 Dense), 30 MiB on-chip
+  (24 Graph + 6 Dense), 256 GB/s DRAM.
+* **NVIDIA RTX 2080 Ti** — 13.45 TFLOP/s, 29.5 MiB on-chip, 616 GB/s.
+* **HyGCN** — 9 TFLOP/s (1 Aggregation + 8 Combination), 24 MiB, 256 GB/s.
+
+The Fig 5 "next-generation" variants are provided by
+:func:`next_generation_variants`: one doubles Graph Engine memory, one
+doubles the Dense Engine array in both dimensions, one doubles feature
+DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.accelerator import (
+    MIB,
+    ConfigError,
+    DenseEngineConfig,
+    DramConfig,
+    GNNeratorConfig,
+    GraphEngineConfig,
+)
+
+
+def gnnerator_config(feature_block: int | None = 64,
+                     name: str = "gnnerator") -> GNNeratorConfig:
+    """The baseline GNNerator platform of Table IV.
+
+    ``feature_block=None`` yields the "GNNerator w/o Feature Blocking"
+    variant of Fig 3 (conventional dataflow, B = D).
+    """
+    return GNNeratorConfig(
+        name=name,
+        dense=DenseEngineConfig(),
+        graph=GraphEngineConfig(),
+        dram=DramConfig(),
+        feature_block=feature_block,
+    )
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Analytic model parameters for the RTX 2080 Ti baseline.
+
+    The GPU runs DGL-on-PyTorch; its latency on small citation graphs is
+    dominated not by peak FLOPs but by per-kernel launch/framework overhead
+    and by the low efficiency of gather/scatter aggregation kernels. Those
+    mechanisms are explicit parameters here (see
+    :mod:`repro.baselines.gpu` for how they are applied).
+    """
+
+    name: str = "rtx-2080-ti"
+    peak_flops: float = 13.45e12
+    dram_bandwidth_bytes_per_s: float = 616e9
+    on_chip_bytes: int = int(29.5 * MIB)
+    num_sms: int = 68
+    #: Achievable fraction of peak FLOPs for dense GEMM at full occupancy.
+    gemm_efficiency: float = 0.60
+    #: Achievable fraction of peak DRAM bandwidth for regular streams.
+    stream_efficiency: float = 0.75
+    #: Achievable fraction of peak DRAM bandwidth for irregular
+    #: gather/scatter (sparse aggregation); literature reports 10-25%.
+    gather_efficiency: float = 0.12
+    #: Fixed host-side cost per launched kernel (DGL/PyTorch dispatch,
+    #: launch, sync) in seconds. Measured DGL forward passes on Cora-sized
+    #: graphs are dominated by this term.
+    kernel_overhead_s: float = 60e-6
+    #: Minimum rows of work per SM wave; smaller launches underutilise.
+    threads_per_sm: int = 1024
+
+    def __post_init__(self) -> None:
+        for name in ("gemm_efficiency", "stream_efficiency",
+                     "gather_efficiency"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(f"{name} must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class HyGCNConfig:
+    """Analytic model parameters for the HyGCN baseline (HPCA 2020).
+
+    HyGCN couples an Aggregation Engine (SIMD cores that process a *single
+    vertex's* feature across all cores — intra-node parallelism only) to a
+    systolic Combination Engine, with aggregation always the producer.
+    """
+
+    name: str = "hygcn"
+    #: Aggregation engine: 32 SIMD cores x 16 lanes @ 1 GHz = 1 TFLOP/s.
+    num_simd_cores: int = 32
+    simd_lanes_per_core: int = 16
+    #: Combination engine: 8 systolic modules of 128x4 MACs = 8 TFLOP/s.
+    systolic_modules: int = 8
+    systolic_rows: int = 128
+    systolic_cols: int = 4
+    frequency_ghz: float = 1.0
+    on_chip_bytes: int = 24 * MIB
+    #: Input/edge/output buffer split of the 24 MiB (aggregation side).
+    agg_buffer_bytes: int = 16 * MIB
+    dram: DramConfig = field(default_factory=DramConfig)
+    #: Window-based sparsity elimination (Sec VI-A of the GNNerator paper
+    #: reports it is worth ~1.1x on Cora/Pubmed and ~3x on Citeseer).
+    sparsity_elimination: bool = True
+
+    @property
+    def agg_lanes(self) -> int:
+        return self.num_simd_cores * self.simd_lanes_per_core
+
+    @property
+    def agg_peak_flops(self) -> float:
+        return self.agg_lanes * 2 * self.frequency_ghz * 1e9
+
+    @property
+    def comb_macs(self) -> int:
+        return self.systolic_modules * self.systolic_rows * self.systolic_cols
+
+    @property
+    def comb_peak_flops(self) -> float:
+        return self.comb_macs * 2 * self.frequency_ghz * 1e9
+
+    @property
+    def peak_flops(self) -> float:
+        return self.agg_peak_flops + self.comb_peak_flops
+
+
+def rtx_2080_ti_config() -> GpuConfig:
+    """The GPU baseline column of Table IV."""
+    return GpuConfig()
+
+
+def hygcn_config(sparsity_elimination: bool = True) -> HyGCNConfig:
+    """The HyGCN baseline column of Table IV."""
+    return HyGCNConfig(sparsity_elimination=sparsity_elimination)
+
+
+def next_generation_variants(
+        base: GNNeratorConfig | None = None) -> dict[str, GNNeratorConfig]:
+    """The three scaled-up GNNerator designs studied in Fig 5.
+
+    Returns a mapping from variant name to configuration:
+
+    * ``"more-graph-memory"`` — 2x Graph Engine scratchpad (larger shards);
+    * ``"more-dense-compute"`` — 2x height and width of the Dense Engine;
+    * ``"more-feature-bandwidth"`` — 2x shared feature DRAM bandwidth.
+    """
+    import dataclasses
+
+    if base is None:
+        base = gnnerator_config()
+    scaled_dense = base.dense.scaled(2)
+    # The paper sets B equal to the Dense Engine width, so the scaled-up
+    # engine runs with a matching (doubled) feature block.
+    dense_block = (None if base.feature_block is None
+                   else base.feature_block * 2)
+    return {
+        "more-graph-memory": dataclasses.replace(
+            base, name=f"{base.name}+graphmem",
+            graph=base.graph.scaled_memory(2)),
+        "more-dense-compute": dataclasses.replace(
+            base, name=f"{base.name}+densecompute",
+            dense=scaled_dense, feature_block=dense_block),
+        "more-feature-bandwidth": dataclasses.replace(
+            base, name=f"{base.name}+dram",
+            dram=base.dram.scaled(2)),
+    }
+
+
+def platform_table() -> list[dict[str, str]]:
+    """Render Table IV as a list of row dictionaries (for reports)."""
+    gnn = gnnerator_config()
+    gpu = rtx_2080_ti_config()
+    hygcn = hygcn_config()
+    return [
+        {
+            "Platform": "RTX 2080 Ti",
+            "Peak Compute": f"{gpu.peak_flops / 1e12:.2f} TFLOP/s",
+            "On-chip Memory": f"{gpu.on_chip_bytes / MIB:.1f} MiB",
+            "Off-chip Bandwidth":
+                f"{gpu.dram_bandwidth_bytes_per_s / 1e9:.0f} GB/s",
+        },
+        {
+            "Platform": "GNNerator",
+            "Peak Compute": (
+                f"{gnn.peak_flops / 1e12:.1f} TFLOP/s "
+                f"({gnn.graph.peak_flops / 1e12:.0f} Graph, "
+                f"{gnn.dense.peak_flops / 1e12:.0f} Dense)"),
+            "On-chip Memory": (
+                f"{gnn.on_chip_bytes / MIB:.0f} MiB "
+                f"({gnn.graph.total_buffer_bytes / MIB:.0f} Graph, "
+                f"{gnn.dense.total_buffer_bytes / MIB:.0f} Dense)"),
+            "Off-chip Bandwidth":
+                f"{gnn.dram.bandwidth_bytes_per_s / 1e9:.0f} GB/s",
+        },
+        {
+            "Platform": "HyGCN",
+            "Peak Compute": (
+                f"{hygcn.peak_flops / 1e12:.1f} TFLOP/s "
+                f"({hygcn.agg_peak_flops / 1e12:.0f} Graph, "
+                f"{hygcn.comb_peak_flops / 1e12:.0f} Dense)"),
+            "On-chip Memory": f"{hygcn.on_chip_bytes / MIB:.0f} MiB",
+            "Off-chip Bandwidth":
+                f"{hygcn.dram.bandwidth_bytes_per_s / 1e9:.0f} GB/s",
+        },
+    ]

@@ -1,0 +1,90 @@
+"""Workload descriptions: (dataset, network, dataflow knobs).
+
+A :class:`WorkloadSpec` names everything needed to reproduce one bar of
+Fig 3 / one cell of Table V: which graph dataset, which GNN, and the
+dataflow parameters (feature-block size, shard traversal order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.accelerator import ConfigError
+
+#: Traversal orders for the 2-D shard grid (Sec IV-A, Table I).
+SRC_STATIONARY = "src-stationary"
+DST_STATIONARY = "dst-stationary"
+TRAVERSAL_ORDERS = (SRC_STATIONARY, DST_STATIONARY)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark point: a network run on a dataset with dataflow knobs.
+
+    ``feature_block`` of ``None`` selects the conventional dataflow
+    (B = D). ``traversal`` picks how the shard grid is walked; the paper's
+    default (and Algorithm 1) is destination-major.
+    """
+
+    dataset: str
+    network: str
+    feature_block: int | None = 64
+    traversal: str = DST_STATIONARY
+    hidden_dim: int = 16
+
+    def __post_init__(self) -> None:
+        if self.traversal not in TRAVERSAL_ORDERS:
+            raise ConfigError(
+                f"traversal must be one of {TRAVERSAL_ORDERS}, "
+                f"got {self.traversal!r}")
+        if self.feature_block is not None and self.feature_block <= 0:
+            raise ConfigError("feature_block must be positive or None")
+        if self.hidden_dim <= 0:
+            raise ConfigError("hidden_dim must be positive")
+
+    @property
+    def label(self) -> str:
+        """Short benchmark label in the paper's Fig 3 style.
+
+        Examples: ``cora-gcn``, ``citeseer-gsage-max``, ``pub-gcn``.
+        """
+        short_dataset = {"pubmed": "pub"}.get(self.dataset, self.dataset)
+        short_network = {
+            "gcn": "gcn",
+            "graphsage": "gsage",
+            "graphsage-pool": "gsage-max",
+        }.get(self.network, self.network)
+        return f"{short_dataset}-{short_network}"
+
+    def with_block(self, block: int | None) -> "WorkloadSpec":
+        import dataclasses
+        return dataclasses.replace(self, feature_block=block)
+
+    def with_hidden_dim(self, hidden_dim: int) -> "WorkloadSpec":
+        import dataclasses
+        return dataclasses.replace(self, hidden_dim=hidden_dim)
+
+
+#: The nine Fig 3 benchmark points: 3 datasets x 3 networks (Table II x III).
+FIG3_DATASETS = ("cora", "citeseer", "pubmed")
+FIG3_NETWORKS = ("gcn", "graphsage", "graphsage-pool")
+
+
+def fig3_workloads(feature_block: int | None = 64) -> list[WorkloadSpec]:
+    """The benchmark suite of Fig 3, in the paper's plotting order."""
+    return [
+        WorkloadSpec(dataset=dataset, network=network,
+                     feature_block=feature_block)
+        for dataset in FIG3_DATASETS
+        for network in FIG3_NETWORKS
+    ]
+
+
+def fig5_workloads(hidden_dims: tuple[int, ...] = (16, 128, 1024),
+                   network: str = "gcn") -> list[WorkloadSpec]:
+    """The Fig 5 scaling-study points: datasets x hidden dimensions."""
+    return [
+        WorkloadSpec(dataset=dataset, network=network, hidden_dim=hidden)
+        for hidden in hidden_dims
+        for dataset in FIG3_DATASETS
+    ]

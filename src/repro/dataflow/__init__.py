@@ -1,0 +1,25 @@
+"""GNN dataflows: Table I cost model and dimension blocking (Algorithm 1)."""
+
+from repro.dataflow.blocking import (
+    BlockPlan,
+    dimension_blocked_walk,
+    plan_blocks,
+)
+from repro.dataflow.costs import (
+    DataflowCost,
+    best_traversal,
+    dst_stationary_cost,
+    src_stationary_cost,
+    traversal_cost,
+)
+
+__all__ = [
+    "BlockPlan",
+    "dimension_blocked_walk",
+    "plan_blocks",
+    "DataflowCost",
+    "best_traversal",
+    "dst_stationary_cost",
+    "src_stationary_cost",
+    "traversal_cost",
+]

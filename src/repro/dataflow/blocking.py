@@ -1,0 +1,83 @@
+"""Feature dimension-blocking (Algorithm 1, Sec IV-B).
+
+A :class:`BlockPlan` partitions a ``D``-dimensional feature space into
+contiguous blocks of at most ``B`` dimensions. Algorithm 1's loop nest —
+``for block: for dst: for src: for edges: for dims-in-block`` — is
+materialised by :func:`dimension_blocked_walk`, whose order the compiler
+follows instruction-for-instruction.
+
+Setting ``B = D`` (``block=None``) collapses the block loop and yields
+the conventional GNN dataflow of Sec IV-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.config.workload import TRAVERSAL_ORDERS
+from repro.graph.graph import GraphError
+from repro.graph.traversal import traversal_order
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """A partition of ``dim`` feature dimensions into blocks of ``block``."""
+
+    dim: int
+    block: int
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise GraphError("dim must be positive")
+        if not 0 < self.block <= self.dim:
+            raise GraphError(
+                f"block must be in [1, {self.dim}], got {self.block}")
+
+    @property
+    def num_blocks(self) -> int:
+        return -(-self.dim // self.block)
+
+    @property
+    def is_blocked(self) -> bool:
+        """True when more than one block exists (B < D)."""
+        return self.num_blocks > 1
+
+    def slices(self) -> list[slice]:
+        """Contiguous dimension slices covering ``range(dim)`` exactly."""
+        return [slice(start, min(start + self.block, self.dim))
+                for start in range(0, self.dim, self.block)]
+
+    def block_slice(self, index: int) -> slice:
+        if not 0 <= index < self.num_blocks:
+            raise GraphError(f"block index {index} out of range")
+        start = index * self.block
+        return slice(start, min(start + self.block, self.dim))
+
+    def block_width(self, index: int) -> int:
+        chunk = self.block_slice(index)
+        return chunk.stop - chunk.start
+
+
+def plan_blocks(dim: int, block: int | None) -> BlockPlan:
+    """Build a plan; ``block=None`` (or oversized) means the conventional
+    unblocked dataflow, B = D."""
+    if block is None:
+        return BlockPlan(dim=dim, block=dim)
+    return BlockPlan(dim=dim, block=min(block, dim))
+
+
+def dimension_blocked_walk(plan: BlockPlan, grid_side: int,
+                           traversal: str
+                           ) -> Iterator[tuple[int, int, int]]:
+    """Algorithm 1's shard iteration: yields ``(block, row, col)``.
+
+    The block loop is outermost (line 2); within a block the shard grid
+    is walked in the requested stationary order (lines 3-4, S-pattern).
+    """
+    if traversal not in TRAVERSAL_ORDERS:
+        raise GraphError(f"unknown traversal {traversal!r}")
+    order = traversal_order(traversal, grid_side)
+    for block in range(plan.num_blocks):
+        for row, col in order:
+            yield block, row, col

@@ -1,0 +1,12 @@
+"""Hardware engine models: Dense Engine, Graph Engine, Controller."""
+
+from repro.engines.controller import DOUBLE_BUFFER_CREDITS, Controller
+from repro.engines.executor import DeadlockError, execute_op, unit_process
+
+__all__ = [
+    "DOUBLE_BUFFER_CREDITS",
+    "Controller",
+    "DeadlockError",
+    "execute_op",
+    "unit_process",
+]

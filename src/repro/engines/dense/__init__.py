@@ -1,0 +1,21 @@
+"""Dense Engine: systolic GEMM timing model and DES component."""
+
+from repro.engines.dense.engine import DenseEngine
+from repro.engines.dense.systolic import (
+    GemmShape,
+    GemmTiming,
+    activation_cycles,
+    gemm_timing,
+    os_gemm_cycles,
+    ws_gemm_cycles,
+)
+
+__all__ = [
+    "DenseEngine",
+    "GemmShape",
+    "GemmTiming",
+    "activation_cycles",
+    "gemm_timing",
+    "os_gemm_cycles",
+    "ws_gemm_cycles",
+]

@@ -1,0 +1,54 @@
+"""Dense Engine (Sec III-A): systolic array + scratchpads + activation.
+
+At simulation time the Dense Engine is three unit processes sharing the
+accelerator's controller and DRAM channel:
+
+* ``dense.fetch`` — fills the double-buffered input and weight
+  scratchpads through the engine's *own* memory controller (the feature
+  HyGCN's combination engine lacks, and the reason GNNerator's Dense
+  Engine can act as a producer);
+* ``dense.compute`` — the systolic array (GEMM passes timed by
+  :mod:`repro.engines.dense.systolic`) and the 1-D activation unit;
+* ``dense.store`` — drains outputs and partial-sum spills.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Operation
+from repro.config.accelerator import DenseEngineConfig
+from repro.engines.controller import Controller
+from repro.engines.executor import unit_process
+from repro.sim.kernel import Environment, Process
+from repro.sim.memory import BusyTracker, DramChannel
+from repro.sim.trace import Tracer
+
+UNIT_NAMES = ("dense.fetch", "dense.compute", "dense.store")
+
+
+class DenseEngine:
+    """Spawns the Dense Engine's unit processes over compiled queues."""
+
+    def __init__(self, env: Environment, config: DenseEngineConfig,
+                 controller: Controller, dram: DramChannel) -> None:
+        self.env = env
+        self.config = config
+        self.controller = controller
+        self.dram = dram
+        self.trackers = {unit: BusyTracker() for unit in UNIT_NAMES}
+        self.processes: dict[str, Process] = {}
+
+    def launch(self, queues: dict[str, list[Operation]],
+               tracer: Tracer | None = None) -> None:
+        for unit in UNIT_NAMES:
+            self.processes[unit] = self.env.process(
+                unit_process(self.env, unit, queues.get(unit, []),
+                             self.controller, self.dram,
+                             self.trackers[unit], tracer),
+                name=unit)
+
+    @property
+    def compute_busy_cycles(self) -> int:
+        return self.trackers["dense.compute"].busy_cycles
+
+    def finished(self) -> bool:
+        return all(p.triggered for p in self.processes.values())

@@ -1,0 +1,74 @@
+"""Generic unit executor: replays one unit's operation queue on the DES.
+
+Every hardware unit — fetch, compute, writeback/store, on either engine —
+follows the same contract: take the next operation, stall on its wait
+tokens (and credits/handoffs), perform it (a DRAM burst or a compute
+occupancy), then signal its tokens. The per-op semantics differ only in
+*where the time goes*, which is what this module encodes.
+
+An optional :class:`~repro.sim.trace.Tracer` records each operation's
+busy window (after stalls, i.e. actual execution) for pipeline-overlap
+analysis and Gantt rendering.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    AccumWritebackOp,
+    AcquireOp,
+    DmaOp,
+    Operation,
+    PopOp,
+    PushOp,
+    ReleaseOp,
+    op_cycles,
+)
+from repro.engines.controller import Controller
+from repro.sim.kernel import Environment, SimulationError
+from repro.sim.memory import BusyTracker, DramChannel
+from repro.sim.trace import Tracer
+
+
+def execute_op(env: Environment, unit: str, op: Operation,
+               controller: Controller, dram: DramChannel,
+               tracker: BusyTracker, tracer: Tracer | None = None):
+    """Generator performing one operation's timing behaviour."""
+    for token in op.wait:
+        yield controller.wait(token)
+    if isinstance(op, AcquireOp):
+        yield controller.credit(op.channel).wait()
+    elif isinstance(op, PopOp):
+        yield controller.channel(op.channel).get()
+
+    start = env.now
+    if isinstance(op, ReleaseOp):
+        controller.credit(op.channel).signal()
+    elif isinstance(op, PushOp):
+        yield controller.channel(op.channel).put(op.step)
+    elif isinstance(op, DmaOp):
+        yield from dram.transfer(unit, "read" if op.direction == "load"
+                                 else "write", op.num_bytes)
+    elif isinstance(op, AccumWritebackOp):
+        yield from dram.transfer(unit, "write", op.num_bytes)
+    elif not isinstance(op, (AcquireOp, PopOp)):
+        cycles = op_cycles(op)
+        if cycles:
+            tracker.record(cycles)
+            yield env.timeout(cycles)
+    if tracer is not None:
+        tracer.record(unit, op.label or type(op).__name__, start, env.now)
+    for token in op.signal:
+        controller.signal(token)
+
+
+def unit_process(env: Environment, unit: str, ops: list[Operation],
+                 controller: Controller, dram: DramChannel,
+                 tracker: BusyTracker, tracer: Tracer | None = None):
+    """Process body running a whole unit queue to completion."""
+    for op in ops:
+        yield from execute_op(env, unit, op, controller, dram, tracker,
+                              tracer)
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains with unit queues unfinished."""

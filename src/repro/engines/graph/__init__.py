@@ -1,0 +1,21 @@
+"""Graph Engine: GPE cycle model and DES component."""
+
+from repro.engines.graph.engine import GraphEngine
+from repro.engines.graph.gpe import (
+    gpe_edge_distribution,
+    gpe_utilization,
+    interval_touch_cycles,
+    lane_slots,
+    max_gpe_edges,
+    shard_compute_cycles,
+)
+
+__all__ = [
+    "GraphEngine",
+    "gpe_edge_distribution",
+    "gpe_utilization",
+    "interval_touch_cycles",
+    "lane_slots",
+    "max_gpe_edges",
+    "shard_compute_cycles",
+]

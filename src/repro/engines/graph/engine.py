@@ -1,0 +1,56 @@
+"""Graph Engine (Sec III-B): shard pipeline over four unit groups.
+
+Three unit processes realise the paper's four units (edge fetch and
+feature fetch are lowered into one ``graph.fetch`` queue — they run in
+parallel in hardware and their DMA bursts are serialised only by the
+shared channel, which the queue models):
+
+* ``graph.fetch`` — Shard Edge Fetch + Shard Feature Fetch Units,
+  prefetching shard ``k+1`` into the spare buffer halves while shard
+  ``k`` computes (credit-gated double buffering);
+* ``graph.compute`` — the Shard Compute Unit's GPEs
+  (:mod:`repro.engines.graph.gpe` provides the cycle model);
+* ``graph.writeback`` — the Shard Writeback Unit, publishing finished
+  (and spilled) accumulator intervals to the shared feature memory.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Operation
+from repro.config.accelerator import GraphEngineConfig
+from repro.engines.controller import Controller
+from repro.engines.executor import unit_process
+from repro.sim.kernel import Environment, Process
+from repro.sim.memory import BusyTracker, DramChannel
+from repro.sim.trace import Tracer
+
+UNIT_NAMES = ("graph.fetch", "graph.compute", "graph.writeback")
+
+
+class GraphEngine:
+    """Spawns the Graph Engine's unit processes over compiled queues."""
+
+    def __init__(self, env: Environment, config: GraphEngineConfig,
+                 controller: Controller, dram: DramChannel) -> None:
+        self.env = env
+        self.config = config
+        self.controller = controller
+        self.dram = dram
+        self.trackers = {unit: BusyTracker() for unit in UNIT_NAMES}
+        self.processes: dict[str, Process] = {}
+
+    def launch(self, queues: dict[str, list[Operation]],
+               tracer: Tracer | None = None) -> None:
+        for unit in UNIT_NAMES:
+            self.processes[unit] = self.env.process(
+                unit_process(self.env, unit, queues.get(unit, []),
+                             self.controller, self.dram,
+                             self.trackers[unit], tracer),
+                name=unit)
+
+    @property
+    def compute_busy_cycles(self) -> int:
+        return self.trackers["graph.compute"].busy_cycles
+
+    def finished(self) -> bool:
+        return all(p.triggered for p in self.processes.values())

@@ -1,0 +1,59 @@
+"""Evaluation harness, experiment reproductions, and report rendering."""
+
+from repro.eval.experiments import (
+    FIG3_PAPER,
+    FIG4_BLOCKS,
+    FIG5_HIDDEN_DIMS,
+    TABLE5_PAPER,
+    Fig3Result,
+    Fig3Row,
+    Fig4Point,
+    Fig5Row,
+    Table1Row,
+    Table5Row,
+    fig3_speedups,
+    fig4_block_sweep,
+    fig5_scaling,
+    table1_dataflow_costs,
+    table5_hygcn,
+)
+from repro.eval.harness import (
+    Harness,
+    PlatformLatencies,
+    geometric_mean,
+)
+from repro.eval.report import (
+    format_table,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_table1,
+    render_table5,
+)
+
+__all__ = [
+    "FIG3_PAPER",
+    "FIG4_BLOCKS",
+    "FIG5_HIDDEN_DIMS",
+    "TABLE5_PAPER",
+    "Fig3Result",
+    "Fig3Row",
+    "Fig4Point",
+    "Fig5Row",
+    "Table1Row",
+    "Table5Row",
+    "fig3_speedups",
+    "fig4_block_sweep",
+    "fig5_scaling",
+    "table1_dataflow_costs",
+    "table5_hygcn",
+    "Harness",
+    "PlatformLatencies",
+    "geometric_mean",
+    "format_table",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_table1",
+    "render_table5",
+]

@@ -1,0 +1,64 @@
+"""First-order silicon area model (extension — Table IV's Area row).
+
+Accelerator area at a 14/16 nm-class node is dominated by MAC datapaths
+and SRAM macros. With ~5e-4 mm² per fp32 MAC (datapath + pipeline
+registers) and ~0.4 mm² per MiB of SRAM, the Table IV GNNerator
+configuration (5120 MACs + 30 MiB) lands at ~14.6 mm² — matching the
+paper's reported 14.5 mm² — which is the calibration anchor for the two
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.accelerator import MIB, GNNeratorConfig
+from repro.config.platforms import HyGCNConfig
+
+MAC_MM2 = 5.0e-4
+SRAM_MM2_PER_MIB = 0.4
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Component-level area estimate in mm²."""
+
+    dense_macs_mm2: float
+    graph_macs_mm2: float
+    sram_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.dense_macs_mm2 + self.graph_macs_mm2 + self.sram_mm2
+
+    def describe(self) -> str:
+        return (f"{self.total_mm2:.1f} mm^2 "
+                f"(dense MACs {self.dense_macs_mm2:.1f}, "
+                f"graph lanes {self.graph_macs_mm2:.1f}, "
+                f"SRAM {self.sram_mm2:.1f})")
+
+
+def gnnerator_area(config: GNNeratorConfig | None = None) -> AreaReport:
+    """Area of a GNNerator configuration (paper reports 14.5 mm²)."""
+    if config is None:
+        config = GNNeratorConfig()
+    return AreaReport(
+        dense_macs_mm2=config.dense.macs * MAC_MM2,
+        graph_macs_mm2=config.graph.lanes * MAC_MM2,
+        sram_mm2=config.on_chip_bytes / MIB * SRAM_MM2_PER_MIB,
+    )
+
+
+def hygcn_area(config: HyGCNConfig | None = None) -> AreaReport:
+    """Area of the HyGCN configuration under the same constants.
+
+    The paper quotes 7.8 mm² (12 nm); our 16 nm-class constants land
+    higher — the point is the relative size vs GNNerator, not the node.
+    """
+    if config is None:
+        config = HyGCNConfig()
+    return AreaReport(
+        dense_macs_mm2=config.comb_macs * MAC_MM2,
+        graph_macs_mm2=config.agg_lanes * MAC_MM2,
+        sram_mm2=config.on_chip_bytes / MIB * SRAM_MM2_PER_MIB,
+    )

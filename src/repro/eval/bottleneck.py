@@ -1,0 +1,72 @@
+"""Bottleneck analysis: which resource bounds a workload, and by how
+much — the reasoning behind the paper's Fig 5 scaling study, exposed as
+a report.
+
+For one simulated run it computes the lower bound each resource imposes
+(DRAM bytes / bandwidth; Graph Engine serial compute; Dense Engine
+serial compute), compares against the achieved cycle count, and names
+the binding resource. Doubling the binding resource is Fig 5's winning
+investment for that workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator import ExecutionResult
+from repro.compiler.program import Program
+from repro.config.accelerator import GNNeratorConfig
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Resource lower bounds (cycles) for one run."""
+
+    achieved_cycles: int
+    dram_bound_cycles: float
+    graph_compute_bound_cycles: float
+    dense_compute_bound_cycles: float
+
+    @property
+    def binding_resource(self) -> str:
+        bounds = {
+            "feature-memory-bandwidth": self.dram_bound_cycles,
+            "graph-engine-compute": self.graph_compute_bound_cycles,
+            "dense-engine-compute": self.dense_compute_bound_cycles,
+        }
+        return max(bounds, key=bounds.get)
+
+    @property
+    def best_bound_cycles(self) -> float:
+        return max(self.dram_bound_cycles,
+                   self.graph_compute_bound_cycles,
+                   self.dense_compute_bound_cycles)
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """How close the pipeline gets to its binding lower bound
+        (1.0 = perfect overlap of everything else)."""
+        if self.achieved_cycles <= 0:
+            return 0.0
+        return min(self.best_bound_cycles / self.achieved_cycles, 1.0)
+
+    def describe(self) -> str:
+        return (f"bound by {self.binding_resource}: achieved "
+                f"{self.achieved_cycles} cycles vs bounds "
+                f"[dram {self.dram_bound_cycles:.0f}, "
+                f"graph {self.graph_compute_bound_cycles:.0f}, "
+                f"dense {self.dense_compute_bound_cycles:.0f}] "
+                f"({self.overlap_efficiency:.0%} overlap efficiency)")
+
+
+def analyze_bottleneck(program: Program, result: ExecutionResult,
+                       config: GNNeratorConfig) -> BottleneckReport:
+    """Resource-bound analysis of one compiled + simulated workload."""
+    serial = program.compute_cycles_by_unit()
+    return BottleneckReport(
+        achieved_cycles=result.cycles,
+        dram_bound_cycles=result.total_dram_bytes
+        / config.dram.bytes_per_cycle,
+        graph_compute_bound_cycles=float(serial.get("graph.compute", 0)),
+        dense_compute_bound_cycles=float(serial.get("dense.compute", 0)),
+    )

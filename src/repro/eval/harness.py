@@ -1,0 +1,137 @@
+"""Experiment harness: run (dataset x network x platform) points.
+
+Caches datasets, models, parameters and compiled programs so sweeps
+(Fig 4's block sweep, Fig 5's scaling study) don't redo shared work.
+All latencies are reported in seconds; speedups are computed by the
+experiment modules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.accelerator import ExecutionResult, GNNerator
+from repro.baselines.gpu import GpuModel
+from repro.baselines.hygcn import HyGCNModel
+from repro.config.accelerator import GNNeratorConfig
+from repro.config.platforms import (
+    gnnerator_config,
+    hygcn_config,
+    rtx_2080_ti_config,
+)
+from repro.config.workload import WorkloadSpec
+from repro.graph.datasets import dataset_stats, load_dataset
+from repro.graph.graph import Graph
+from repro.models.layers import Parameters, init_parameters
+from repro.models.stages import GNNModel
+from repro.models.zoo import build_network
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, the aggregate the paper's Gmean bars use."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class PlatformLatencies:
+    """Latencies of one workload on every evaluated platform."""
+
+    spec: WorkloadSpec
+    gpu_seconds: float
+    gnnerator_seconds: float
+    gnnerator_no_blocking_seconds: float
+    hygcn_seconds: float
+
+    @property
+    def speedup_blocked(self) -> float:
+        return self.gpu_seconds / self.gnnerator_seconds
+
+    @property
+    def speedup_no_blocking(self) -> float:
+        return self.gpu_seconds / self.gnnerator_no_blocking_seconds
+
+    @property
+    def speedup_over_hygcn(self) -> float:
+        return self.hygcn_seconds / self.gnnerator_seconds
+
+    @property
+    def no_blocking_speedup_over_hygcn(self) -> float:
+        return self.hygcn_seconds / self.gnnerator_no_blocking_seconds
+
+
+class Harness:
+    """Shared-state experiment runner."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._params: dict[tuple, Parameters] = {}
+
+    # -- workload materialisation --------------------------------------
+    @staticmethod
+    @lru_cache(maxsize=None)
+    def graph(dataset: str) -> Graph:
+        return load_dataset(dataset)
+
+    def model(self, spec: WorkloadSpec) -> GNNModel:
+        stats = dataset_stats(spec.dataset)
+        return build_network(spec.network, stats.feature_dim,
+                             stats.num_classes, hidden_dim=spec.hidden_dim)
+
+    def params(self, spec: WorkloadSpec) -> Parameters:
+        key = (spec.dataset, spec.network, spec.hidden_dim)
+        if key not in self._params:
+            self._params[key] = init_parameters(self.model(spec),
+                                                seed=self.seed)
+        return self._params[key]
+
+    # -- per-platform latencies ----------------------------------------
+    def gnnerator_result(self, spec: WorkloadSpec,
+                         config: GNNeratorConfig | None = None
+                         ) -> ExecutionResult:
+        """Run ``spec`` on GNNerator.
+
+        Without an explicit ``config``, the platform is the Table IV
+        baseline with the spec's feature block. With one (Fig 5
+        variants), the config's own feature block governs — the paper
+        ties B to the Dense Engine width.
+        """
+        if config is None:
+            config = gnnerator_config(feature_block=spec.feature_block)
+            feature_block: int | None | str = spec.feature_block
+        else:
+            feature_block = "config"
+        accelerator = GNNerator(config)
+        return accelerator.run(self.graph(spec.dataset), self.model(spec),
+                               params=self.params(spec),
+                               traversal=spec.traversal,
+                               feature_block=feature_block)
+
+    def gnnerator_seconds(self, spec: WorkloadSpec,
+                          config: GNNeratorConfig | None = None) -> float:
+        return self.gnnerator_result(spec, config).seconds
+
+    def gpu_seconds(self, spec: WorkloadSpec) -> float:
+        model = GpuModel(rtx_2080_ti_config())
+        return model.run(self.graph(spec.dataset), self.model(spec)).seconds
+
+    def hygcn_seconds(self, spec: WorkloadSpec,
+                      sparsity_elimination: bool = True) -> float:
+        model = HyGCNModel(hygcn_config(sparsity_elimination))
+        return model.run(self.graph(spec.dataset), self.model(spec)).seconds
+
+    # -- combined -------------------------------------------------------
+    def all_platforms(self, spec: WorkloadSpec) -> PlatformLatencies:
+        return PlatformLatencies(
+            spec=spec,
+            gpu_seconds=self.gpu_seconds(spec),
+            gnnerator_seconds=self.gnnerator_seconds(spec),
+            gnnerator_no_blocking_seconds=self.gnnerator_seconds(
+                spec.with_block(None)),
+            hygcn_seconds=self.hygcn_seconds(spec),
+        )

@@ -1,0 +1,96 @@
+"""Plain-text rendering of experiment results (the benches print these)."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import (
+    Fig3Result,
+    Fig4Point,
+    Fig5Row,
+    Table1Row,
+    Table5Row,
+)
+
+
+def format_table(rows: list[dict[str, str]], title: str = "") -> str:
+    """Render a list of same-keyed dicts as an aligned ASCII table."""
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    widths = {h: max(len(h), *(len(str(r[h])) for r in rows))
+              for h in headers}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[h]) for h in headers)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(row[h]).ljust(widths[h])
+                               for h in headers))
+    return "\n".join(lines)
+
+
+def _ratio(measured: float, paper: float | None) -> str:
+    if paper is None:
+        return "-"
+    return f"{paper:.1f}x"
+
+
+def render_fig3(result: Fig3Result) -> str:
+    rows = [{
+        "workload": row.label,
+        "GNNerator": f"{row.speedup_blocked:.1f}x",
+        "paper": _ratio(row.speedup_blocked, row.paper_blocked),
+        "w/o blocking": f"{row.speedup_no_blocking:.1f}x",
+        "paper w/o": _ratio(row.speedup_no_blocking,
+                            row.paper_no_blocking),
+    } for row in result.rows]
+    return format_table(
+        rows, title="Fig 3 — speedup over RTX 2080 Ti (measured vs paper)")
+
+
+def render_fig4(points: list[Fig4Point]) -> str:
+    rows = [{
+        "B": str(p.block),
+        "slowdown vs B=64": f"{p.slowdown:.2f}x",
+    } for p in points]
+    return format_table(rows, title="Fig 4 — feature-block size sweep")
+
+
+def render_fig5(rows: list[Fig5Row]) -> str:
+    table = [{
+        "workload": row.label,
+        **{name: f"{speedup:.2f}x"
+           for name, speedup in row.speedups.items()},
+    } for row in rows]
+    return format_table(
+        table, title="Fig 5 — next-generation scaling (speedup over "
+        "baseline GNNerator)")
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    table = [{
+        "order": row.order,
+        "S": str(row.grid_side),
+        "analytic reads": str(row.analytic_reads),
+        "replay reads": str(row.simulated_reads),
+        "analytic writes": str(row.analytic_writes),
+        "replay writes": str(row.simulated_writes),
+        "compiled src MB": f"{row.compiled_src_bytes / 1e6:.1f}",
+        "compiled partial MB": f"{row.compiled_partial_bytes / 1e6:.1f}",
+        "match": "yes" if row.matches else "NO",
+    } for row in rows]
+    return format_table(
+        table, title="Table I — shard dataflow costs (interval units)")
+
+
+def render_table5(rows: list[Table5Row]) -> str:
+    table = [{
+        "dataset": row.dataset,
+        "GNNerator vs HyGCN": f"{row.speedup_blocked:.1f}x",
+        "paper": f"{row.paper_blocked:.1f}x",
+        "w/o blocking": f"{row.speedup_no_blocking:.1f}x",
+        "paper w/o": f"{row.paper_no_blocking:.1f}x",
+    } for row in rows]
+    return format_table(
+        table, title="Table V — speedup of GNNerator over HyGCN (GCN)")

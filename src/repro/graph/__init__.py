@@ -1,0 +1,70 @@
+"""Graph substrate: containers, generators, datasets, sharding, traversal."""
+
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetStats,
+    dataset_stats,
+    dataset_table,
+    load_dataset,
+)
+from repro.graph.generators import (
+    citation_network,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment_edges,
+    sparse_binary_features,
+    star_graph,
+)
+from repro.graph.graph import Graph, GraphError
+from repro.graph.stats import (
+    DegreeStats,
+    ShardOccupancy,
+    degree_stats,
+    shard_occupancy,
+)
+from repro.graph.partition import (
+    NodeInterval,
+    Shard,
+    ShardGrid,
+    plan_interval_size,
+    plan_shards,
+)
+from repro.graph.traversal import (
+    ResidencyCounts,
+    dst_stationary_order,
+    serpentine,
+    simulate_residency,
+    src_stationary_order,
+    traversal_order,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetStats",
+    "dataset_stats",
+    "dataset_table",
+    "load_dataset",
+    "citation_network",
+    "erdos_renyi",
+    "path_graph",
+    "preferential_attachment_edges",
+    "sparse_binary_features",
+    "star_graph",
+    "Graph",
+    "GraphError",
+    "DegreeStats",
+    "ShardOccupancy",
+    "degree_stats",
+    "shard_occupancy",
+    "NodeInterval",
+    "Shard",
+    "ShardGrid",
+    "plan_interval_size",
+    "plan_shards",
+    "ResidencyCounts",
+    "dst_stationary_order",
+    "serpentine",
+    "simulate_residency",
+    "src_stationary_order",
+    "traversal_order",
+]

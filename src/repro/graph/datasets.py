@@ -1,0 +1,152 @@
+"""Benchmark dataset registry (Table II).
+
+Three citation datasets drive the paper's evaluation:
+
+========  ========  =======  ============  =======
+Dataset   Vertices  Edges    Feature Dim.  Size
+========  ========  =======  ============  =======
+CORA      2708      10556    1433          15.6 MB
+CITESEER  3327      9104     3703          49 MB
+PUBMED    19717     88648    500           40.5 MB
+========  ========  =======  ============  =======
+
+("Size" is the fp32 feature matrix; edge counts are directed message
+edges of the symmetrised graph, as DGL reports them.)
+
+Real Planetoid files cannot be downloaded here, so :func:`load_dataset`
+synthesises deterministic equivalents with exactly these statistics (see
+:mod:`repro.graph.generators` and DESIGN.md §3 for why that preserves the
+behaviour being measured). If a real Planetoid ``<name>.content`` /
+``<name>.cites`` pair is found under ``data_dir`` it is used instead.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.generators import citation_network
+from repro.graph.graph import Graph, GraphError
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Published statistics of one benchmark dataset (one Table II row)."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    feature_dim: int
+    num_classes: int
+    #: Bag-of-words density used when synthesising features.
+    feature_density: float
+
+    @property
+    def feature_megabytes(self) -> float:
+        """The Table II "Size" column (fp32 features, MB = 1e6 bytes)."""
+        return self.num_nodes * self.feature_dim * 4 / 1e6
+
+
+DATASETS: dict[str, DatasetStats] = {
+    "cora": DatasetStats(
+        name="cora", num_nodes=2708, num_edges=10556, feature_dim=1433,
+        num_classes=7, feature_density=0.0127),
+    "citeseer": DatasetStats(
+        name="citeseer", num_nodes=3327, num_edges=9104, feature_dim=3703,
+        num_classes=6, feature_density=0.0085),
+    "pubmed": DatasetStats(
+        name="pubmed", num_nodes=19717, num_edges=88648, feature_dim=500,
+        num_classes=3, feature_density=0.10),
+}
+
+#: Seeds fixed per dataset so every run sees the same synthetic graph.
+_DATASET_SEEDS = {"cora": 11, "citeseer": 23, "pubmed": 37}
+
+
+def dataset_stats(name: str) -> DatasetStats:
+    """Published statistics for ``name`` (KeyError lists known names)."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise GraphError(
+            f"unknown dataset {name!r}; known datasets: {known}") from None
+
+
+def _load_planetoid(stats: DatasetStats, data_dir: str) -> Graph:
+    """Parse real Planetoid ``.content`` / ``.cites`` files if present."""
+    content = os.path.join(data_dir, f"{stats.name}.content")
+    cites = os.path.join(data_dir, f"{stats.name}.cites")
+    ids: list[str] = []
+    rows: list[np.ndarray] = []
+    with open(content) as handle:
+        for line in handle:
+            parts = line.strip().split()
+            if not parts:
+                continue
+            ids.append(parts[0])
+            rows.append(np.asarray(parts[1:-1], dtype=np.float32))
+    index = {paper: i for i, paper in enumerate(ids)}
+    edges = []
+    with open(cites) as handle:
+        for line in handle:
+            parts = line.strip().split()
+            if len(parts) != 2:
+                continue
+            cited, citing = parts
+            if cited in index and citing in index:
+                edges.append((index[citing], index[cited]))
+    graph = Graph.from_edges(len(ids), edges, name=stats.name)
+    graph = graph.with_reverse_edges()
+    graph.features = np.stack(rows)
+    return graph
+
+
+@functools.lru_cache(maxsize=None)
+def _synthesize(name: str) -> Graph:
+    stats = dataset_stats(name)
+    return citation_network(
+        num_nodes=stats.num_nodes,
+        num_undirected_edges=stats.num_edges,
+        feature_dim=stats.feature_dim,
+        density=stats.feature_density,
+        seed=_DATASET_SEEDS.get(name, 0),
+        name=stats.name,
+    )
+
+
+def load_dataset(name: str, data_dir: str | None = None) -> Graph:
+    """Load a benchmark graph by name.
+
+    Prefers real Planetoid files under ``data_dir`` (or ``$REPRO_DATA_DIR``
+    or ``./data``); falls back to the deterministic synthetic equivalent.
+    The synthetic graphs are cached, so repeated loads are cheap — callers
+    must not mutate the returned object (copy features first).
+    """
+    stats = dataset_stats(name)
+    candidates = [data_dir, os.environ.get("REPRO_DATA_DIR"), "data"]
+    for directory in candidates:
+        if not directory:
+            continue
+        content = os.path.join(directory, f"{stats.name}.content")
+        cites = os.path.join(directory, f"{stats.name}.cites")
+        if os.path.exists(content) and os.path.exists(cites):
+            return _load_planetoid(stats, directory)
+    return _synthesize(name)
+
+
+def dataset_table() -> list[dict[str, str]]:
+    """Render Table II as report rows."""
+    rows = []
+    for stats in DATASETS.values():
+        rows.append({
+            "Dataset": stats.name.upper(),
+            "Vertices": str(stats.num_nodes),
+            "Edges": str(stats.num_edges),
+            "Feature Dim.": str(stats.feature_dim),
+            "Size": f"{stats.feature_megabytes:.1f} MB",
+        })
+    return rows

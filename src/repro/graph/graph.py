@@ -1,0 +1,208 @@
+"""Graph container used throughout the framework.
+
+A :class:`Graph` is a directed graph in COO form (parallel ``src``/``dst``
+arrays) with optional dense node features. CSR/CSC adjacency views are
+built lazily and cached; they are the representations the functional
+reference models aggregate with, while the sharder consumes the COO view.
+
+Edges are interpreted as *messages*: an edge ``(u, v)`` means node ``u``'s
+feature is aggregated into node ``v``. Citation datasets are undirected in
+the GNN literature, so loaders insert both directions explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.accelerator import EDGE_BYTES, ELEM_BYTES
+
+
+class GraphError(ValueError):
+    """Raised for malformed graph construction arguments."""
+
+
+class Graph:
+    """A directed graph with optional node features.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids are ``0 .. num_nodes - 1``.
+    src, dst:
+        Parallel integer arrays of edge endpoints (messages flow src->dst).
+    features:
+        Optional ``(num_nodes, feature_dim)`` float32 array.
+    name:
+        Human-readable dataset name for reports.
+    """
+
+    def __init__(self, num_nodes: int, src, dst, features=None,
+                 name: str = "graph") -> None:
+        if num_nodes < 0:
+            raise GraphError("num_nodes cannot be negative")
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.ndim != 1 or dst.ndim != 1:
+            raise GraphError("src and dst must be 1-D arrays")
+        if src.shape != dst.shape:
+            raise GraphError(
+                f"src and dst must have equal length, got "
+                f"{src.shape[0]} and {dst.shape[0]}")
+        if src.size and (src.min() < 0 or src.max() >= num_nodes):
+            raise GraphError("src ids out of range")
+        if dst.size and (dst.min() < 0 or dst.max() >= num_nodes):
+            raise GraphError("dst ids out of range")
+        self.num_nodes = int(num_nodes)
+        self.src = src
+        self.dst = dst
+        self.name = name
+        self._features: np.ndarray | None = None
+        if features is not None:
+            self.features = features
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._csc: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, num_nodes: int, edges, features=None,
+                   name: str = "graph") -> "Graph":
+        """Build from an iterable of ``(src, dst)`` pairs."""
+        edges = list(edges)
+        if edges:
+            src, dst = zip(*edges)
+        else:
+            src, dst = [], []
+        return cls(num_nodes, np.asarray(src), np.asarray(dst),
+                   features=features, name=name)
+
+    # ------------------------------------------------------------------
+    # Features
+    # ------------------------------------------------------------------
+    @property
+    def features(self) -> np.ndarray:
+        if self._features is None:
+            raise GraphError(f"graph {self.name!r} has no node features")
+        return self._features
+
+    @features.setter
+    def features(self, value) -> None:
+        value = np.asarray(value, dtype=np.float32)
+        if value.ndim != 2:
+            raise GraphError("features must be a 2-D (nodes x dim) array")
+        if value.shape[0] != self.num_nodes:
+            raise GraphError(
+                f"features have {value.shape[0]} rows for "
+                f"{self.num_nodes} nodes")
+        self._features = value
+
+    @property
+    def has_features(self) -> bool:
+        return self._features is not None
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def feature_bytes(self) -> int:
+        """Size of the feature matrix (the Table II "Size" column)."""
+        return self.num_nodes * self.feature_dim * ELEM_BYTES
+
+    @property
+    def edge_bytes(self) -> int:
+        """Size of the edge list in accelerator memory."""
+        return self.num_edges * EDGE_BYTES
+
+    # ------------------------------------------------------------------
+    # Adjacency views
+    # ------------------------------------------------------------------
+    def _build_index(self, keys: np.ndarray,
+                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        order = np.argsort(keys, kind="stable")
+        sorted_values = values[order]
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        counts = np.bincount(keys, minlength=self.num_nodes)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, sorted_values
+
+    @property
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Out-adjacency ``(indptr, dst_indices)`` indexed by source node."""
+        if self._csr is None:
+            self._csr = self._build_index(self.src, self.dst)
+        return self._csr
+
+    @property
+    def csc(self) -> tuple[np.ndarray, np.ndarray]:
+        """In-adjacency ``(indptr, src_indices)`` indexed by destination."""
+        if self._csc is None:
+            self._csc = self._build_index(self.dst, self.src)
+        return self._csc
+
+    def out_degrees(self) -> np.ndarray:
+        return np.bincount(self.src, minlength=self.num_nodes)
+
+    def in_degrees(self) -> np.ndarray:
+        return np.bincount(self.dst, minlength=self.num_nodes)
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """Source ids of all edges arriving at ``node``."""
+        indptr, indices = self.csc
+        return indices[indptr[node]:indptr[node + 1]]
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Destination ids of all edges leaving ``node``."""
+        indptr, indices = self.csr
+        return indices[indptr[node]:indptr[node + 1]]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_reverse_edges(self) -> "Graph":
+        """Return a copy with every edge mirrored (symmetrise).
+
+        Duplicate edges are removed, so applying this twice is idempotent.
+        """
+        forward = np.stack([self.src, self.dst], axis=1)
+        backward = np.stack([self.dst, self.src], axis=1)
+        both = np.unique(np.concatenate([forward, backward], axis=0), axis=0)
+        return Graph(self.num_nodes, both[:, 0], both[:, 1],
+                     features=self._features, name=self.name)
+
+    def with_self_loops(self) -> "Graph":
+        """Return a copy with a self loop on every node (deduplicated)."""
+        loops = np.arange(self.num_nodes, dtype=np.int64)
+        src = np.concatenate([self.src, loops])
+        dst = np.concatenate([self.dst, loops])
+        stacked = np.unique(np.stack([src, dst], axis=1), axis=0)
+        return Graph(self.num_nodes, stacked[:, 0], stacked[:, 1],
+                     features=self._features, name=self.name)
+
+    def without_self_loops(self) -> "Graph":
+        keep = self.src != self.dst
+        return Graph(self.num_nodes, self.src[keep], self.dst[keep],
+                     features=self._features, name=self.name)
+
+    def edge_subset(self, mask) -> "Graph":
+        """Return a copy keeping only edges where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.src.shape:
+            raise GraphError("mask length must equal the number of edges")
+        return Graph(self.num_nodes, self.src[mask], self.dst[mask],
+                     features=self._features, name=self.name)
+
+    def has_duplicate_edges(self) -> bool:
+        stacked = np.stack([self.src, self.dst], axis=1)
+        return len(np.unique(stacked, axis=0)) != self.num_edges
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dim = self.feature_dim if self.has_features else 0
+        return (f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges}, feature_dim={dim})")

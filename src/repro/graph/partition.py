@@ -1,0 +1,238 @@
+"""Two-dimensional graph sharding (Sec II-B, Fig 1).
+
+Following GridGraph, node ids are cut into ``S`` contiguous intervals and
+the edge list is scattered into an ``S x S`` grid of shards: shard
+``(i, j)`` holds every edge whose source lies in interval ``i`` and whose
+destination lies in interval ``j``. Processing a shard only requires the
+source-interval features, the destination-interval accumulators, and the
+shard's edges to be resident on-chip.
+
+The interval width ``n`` is chosen from the Graph Engine's buffer budget
+(:func:`plan_interval_size`): with feature blocks of ``B`` dimensions each
+node costs ``B * 4`` bytes of scratchpad, so *smaller blocks mean larger
+intervals and a smaller grid* — the mechanism behind the paper's
+dimension-blocking win (Sec IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.accelerator import (
+    EDGE_BYTES,
+    ELEM_BYTES,
+    GraphEngineConfig,
+)
+from repro.graph.graph import Graph, GraphError
+
+
+@dataclass(frozen=True)
+class NodeInterval:
+    """A contiguous range of node ids ``[start, stop)``."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise GraphError(f"bad interval [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def contains(self, nodes: np.ndarray) -> np.ndarray:
+        return (nodes >= self.start) & (nodes < self.stop)
+
+
+@dataclass
+class Shard:
+    """One cell of the shard grid: edges from interval ``row`` to ``col``.
+
+    Edges are stored sorted by destination (so segment reductions are
+    cheap) and ``edge_ids`` maps each back to its index in the parent
+    graph's COO arrays — per-edge aggregation weights are aligned through
+    this mapping.
+    """
+
+    row: int
+    col: int
+    src_interval: NodeInterval
+    dst_interval: NodeInterval
+    #: Global node ids of the shard's edges (sorted by ``dst``).
+    src: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    dst: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    #: Indices of these edges in the parent graph's edge arrays.
+    edge_ids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64))
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def local_src(self) -> np.ndarray:
+        """Source ids relative to the source interval's start."""
+        return self.src - self.src_interval.start
+
+    @property
+    def local_dst(self) -> np.ndarray:
+        """Destination ids relative to the destination interval's start."""
+        return self.dst - self.dst_interval.start
+
+    @property
+    def edge_bytes(self) -> int:
+        return self.num_edges * EDGE_BYTES
+
+    def feature_bytes(self, block: int) -> int:
+        """Scratchpad bytes for this shard's source-interval feature block."""
+        return self.src_interval.size * block * ELEM_BYTES
+
+
+class ShardGrid:
+    """An ``S x S`` grid of :class:`Shard` over a shared interval partition."""
+
+    def __init__(self, graph: Graph, interval_size: int) -> None:
+        if interval_size <= 0:
+            raise GraphError("interval_size must be positive")
+        self.graph = graph
+        self.interval_size = int(interval_size)
+        starts = list(range(0, max(graph.num_nodes, 1), self.interval_size))
+        self.intervals = [
+            NodeInterval(index=i, start=start,
+                         stop=min(start + self.interval_size,
+                                  graph.num_nodes))
+            for i, start in enumerate(starts)
+        ]
+        self.num_intervals = len(self.intervals)
+        self._shards = self._scatter()
+
+    def _scatter(self) -> dict[tuple[int, int], Shard]:
+        src_bin = self.graph.src // self.interval_size
+        dst_bin = self.graph.dst // self.interval_size
+        # Sort by (shard row, shard col, destination) in one pass; the
+        # within-shard dst order makes segment reductions cheap downstream.
+        order = np.lexsort((self.graph.dst, dst_bin, src_bin))
+        src_sorted = self.graph.src[order]
+        dst_sorted = self.graph.dst[order]
+        keys = src_bin[order] * self.num_intervals + dst_bin[order]
+        shards: dict[tuple[int, int], Shard] = {}
+        boundaries = np.flatnonzero(np.diff(keys)) + 1
+        segments = np.split(np.arange(keys.size), boundaries)
+        for segment in segments:
+            if segment.size == 0:
+                continue
+            key = int(keys[segment[0]])
+            row, col = divmod(key, self.num_intervals)
+            shards[(row, col)] = Shard(
+                row=row, col=col,
+                src_interval=self.intervals[row],
+                dst_interval=self.intervals[col],
+                src=src_sorted[segment],
+                dst=dst_sorted[segment],
+                edge_ids=order[segment])
+        return shards
+
+    # ------------------------------------------------------------------
+    @property
+    def grid_side(self) -> int:
+        """``S``, the width/height of the (square) shard grid."""
+        return self.num_intervals
+
+    def shard(self, row: int, col: int) -> Shard:
+        """The shard at ``(row, col)`` — empty cells return an empty Shard."""
+        if not (0 <= row < self.num_intervals
+                and 0 <= col < self.num_intervals):
+            raise GraphError(f"shard ({row}, {col}) outside "
+                             f"{self.num_intervals}x{self.num_intervals} grid")
+        existing = self._shards.get((row, col))
+        if existing is not None:
+            return existing
+        return Shard(row=row, col=col,
+                     src_interval=self.intervals[row],
+                     dst_interval=self.intervals[col])
+
+    def nonempty_shards(self) -> list[Shard]:
+        """All shards holding at least one edge, in (row, col) order."""
+        return [self._shards[key] for key in sorted(self._shards)]
+
+    @property
+    def num_edges(self) -> int:
+        return sum(s.num_edges for s in self._shards.values())
+
+    @property
+    def max_shard_edges(self) -> int:
+        if not self._shards:
+            return 0
+        return max(s.num_edges for s in self._shards.values())
+
+    def validate(self) -> None:
+        """Check the partition invariants; raises GraphError on violation.
+
+        * every edge lands in exactly one shard (counts match and each
+          shard's edges respect its interval bounds);
+        * intervals tile ``[0, num_nodes)`` without gaps or overlap.
+        """
+        if self.num_edges != self.graph.num_edges:
+            raise GraphError(
+                f"shards hold {self.num_edges} edges but the graph has "
+                f"{self.graph.num_edges}")
+        cursor = 0
+        for interval in self.intervals:
+            if interval.start != cursor:
+                raise GraphError("intervals do not tile the node range")
+            cursor = interval.stop
+        if self.graph.num_nodes and cursor != self.graph.num_nodes:
+            raise GraphError("intervals do not cover all nodes")
+        for shard in self._shards.values():
+            if not shard.src_interval.contains(shard.src).all():
+                raise GraphError(
+                    f"shard {(shard.row, shard.col)} has out-of-interval "
+                    f"sources")
+            if not shard.dst_interval.contains(shard.dst).all():
+                raise GraphError(
+                    f"shard {(shard.row, shard.col)} has out-of-interval "
+                    f"destinations")
+
+
+def plan_interval_size(config: GraphEngineConfig, block: int) -> int:
+    """Nodes per interval that fit the double-buffered scratchpads.
+
+    With ``block`` feature dimensions on-chip per node, an interval of
+    ``n`` nodes needs ``n * block * 4`` bytes in the source-feature buffer
+    and the same in the destination-accumulator buffer; the binding
+    constraint is the smaller buffer. This is the lever dimension-blocking
+    pulls: halving ``block`` doubles ``n`` and shrinks the grid side
+    ``S = ceil(V / n)``.
+    """
+    if block <= 0:
+        raise GraphError("block must be positive")
+    per_node = block * ELEM_BYTES
+    src_cap = config.usable_src_bytes // per_node
+    dst_cap = config.usable_dst_bytes // per_node
+    capacity = min(src_cap, dst_cap)
+    if capacity == 0:
+        raise GraphError(
+            f"a {block}-dimension feature block does not fit even one node "
+            f"in the Graph Engine scratchpads")
+    return int(capacity)
+
+
+def plan_shards(graph: Graph, config: GraphEngineConfig,
+                block: int) -> ShardGrid:
+    """Build the shard grid for ``graph`` under a feature block of ``block``.
+
+    Starts from the buffer-capacity interval size and halves it until
+    every shard's edge list also fits the (double-buffered) edge buffer.
+    """
+    interval = min(plan_interval_size(config, block),
+                   max(graph.num_nodes, 1))
+    edge_capacity = config.usable_edge_bytes // EDGE_BYTES
+    while True:
+        grid = ShardGrid(graph, interval)
+        if grid.max_shard_edges <= edge_capacity or interval == 1:
+            return grid
+        interval = max(interval // 2, 1)

@@ -1,0 +1,128 @@
+"""Shard-grid traversal orders (Sec IV-A).
+
+The 2-D shard grid can be walked in a *source-stationary* (row-major) or
+*destination-stationary* (column-major) order. Both use an S-pattern
+(serpentine): consecutive rows/columns are walked in opposite directions
+so the shard at a row/column boundary is reused, saving one reload.
+
+:func:`simulate_residency` replays an order against a one-interval-per-
+buffer residency model and counts interval loads/stores — the empirical
+counterpart of the analytic Table I formulas in
+:mod:`repro.dataflow.costs`, and the ground truth the compiler's
+residency analysis is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.config.workload import (
+    DST_STATIONARY,
+    SRC_STATIONARY,
+    TRAVERSAL_ORDERS,
+)
+from repro.graph.graph import GraphError
+
+
+def serpentine(major: int, minor: int) -> Iterator[tuple[int, int]]:
+    """Walk a ``major x minor`` grid serpentine-wise, yielding (maj, min)."""
+    for outer in range(major):
+        inner = range(minor) if outer % 2 == 0 else range(minor - 1, -1, -1)
+        for item in inner:
+            yield outer, item
+
+
+def src_stationary_order(grid_side: int) -> list[tuple[int, int]]:
+    """Row-major S-pattern: hold a source interval, sweep destinations."""
+    if grid_side <= 0:
+        raise GraphError("grid_side must be positive")
+    return [(row, col) for row, col in serpentine(grid_side, grid_side)]
+
+
+def dst_stationary_order(grid_side: int) -> list[tuple[int, int]]:
+    """Column-major S-pattern: hold a destination interval, sweep sources.
+
+    This is the order of Algorithm 1 (``dst`` is the outer shard loop).
+    """
+    if grid_side <= 0:
+        raise GraphError("grid_side must be positive")
+    return [(row, col) for col, row in serpentine(grid_side, grid_side)]
+
+
+def traversal_order(name: str, grid_side: int) -> list[tuple[int, int]]:
+    """Dispatch by traversal name (see ``config.workload``)."""
+    if name == SRC_STATIONARY:
+        return src_stationary_order(grid_side)
+    if name == DST_STATIONARY:
+        return dst_stationary_order(grid_side)
+    raise GraphError(
+        f"unknown traversal {name!r}; expected one of {TRAVERSAL_ORDERS}")
+
+
+@dataclass
+class ResidencyCounts:
+    """Interval-granularity transfer counts for one grid walk.
+
+    Attributes mirror Table I's cost structure:
+
+    * ``src_loads`` — source-interval feature loads (each moves ``I``
+      input features on-chip);
+    * ``dst_loads`` — destination-accumulator reloads (partial sums read
+      back from DRAM; zero-valued accumulators are materialised on-chip
+      and never read);
+    * ``dst_stores`` — destination-accumulator writebacks (spills when the
+      walk leaves a column plus the final writebacks).
+    """
+
+    src_loads: int = 0
+    dst_loads: int = 0
+    dst_stores: int = 0
+
+    @property
+    def total_reads(self) -> int:
+        return self.src_loads + self.dst_loads
+
+    @property
+    def total_writes(self) -> int:
+        return self.dst_stores
+
+
+def simulate_residency(order: list[tuple[int, int]],
+                       grid_side: int) -> ResidencyCounts:
+    """Replay a walk with single-interval src/dst buffers and count DMAs.
+
+    The model matches the hardware of Sec III-B: one resident source
+    interval (features, read-only) and one resident destination interval
+    (accumulators, read-write). Swapping the destination interval spills
+    its partial sums; re-entering a column whose partials were spilled
+    reloads them. Every destination interval is written back exactly once
+    more at the end of its final visit.
+    """
+    counts = ResidencyCounts()
+    resident_src: int | None = None
+    resident_dst: int | None = None
+    started: set[int] = set()  # dst intervals whose partials exist
+    remaining = [0] * grid_side  # visits left per dst column
+    for _, col in order:
+        remaining[col] += 1
+
+    for row, col in order:
+        if not (0 <= row < grid_side and 0 <= col < grid_side):
+            raise GraphError(f"shard {(row, col)} outside grid")
+        if resident_src != row:
+            counts.src_loads += 1
+            resident_src = row
+        if resident_dst != col:
+            if resident_dst is not None and remaining[resident_dst] > 0:
+                # Leaving a column with work left: spill partial sums.
+                counts.dst_stores += 1
+            if col in started:
+                counts.dst_loads += 1
+            started.add(col)
+            resident_dst = col
+        remaining[col] -= 1
+        if remaining[col] == 0:
+            counts.dst_stores += 1
+            resident_dst = None
+    return counts

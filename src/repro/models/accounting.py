@@ -1,0 +1,153 @@
+"""Kernel-level operation accounting for a GNN forward pass.
+
+The analytic baseline models (GPU, HyGCN) need to know, for every stage,
+how many FLOPs are executed and how many bytes move with regular
+(streaming) versus irregular (gather/scatter) access patterns — and, for
+the GPU, how many distinct framework kernels are launched. This module
+derives those counts from the stage IR, mirroring how DGL-on-PyTorch
+executes each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.accelerator import ELEM_BYTES
+from repro.graph.graph import Graph
+from repro.models.stages import (
+    AggregateStage,
+    ExtractStage,
+    GNNModel,
+    ModelError,
+)
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One launched kernel: FLOPs plus bytes split by access pattern."""
+
+    name: str
+    flops: float = 0.0
+    regular_read_bytes: float = 0.0
+    regular_write_bytes: float = 0.0
+    irregular_read_bytes: float = 0.0
+    irregular_write_bytes: float = 0.0
+    #: Rows of parallel work (used for occupancy modelling on the GPU).
+    parallel_rows: int = 1
+
+    @property
+    def total_bytes(self) -> float:
+        return (self.regular_read_bytes + self.regular_write_bytes
+                + self.irregular_read_bytes + self.irregular_write_bytes)
+
+
+def aggregate_kernels(stage: AggregateStage, graph: Graph,
+                      prefix: str) -> list[KernelProfile]:
+    """Kernels DGL launches for one aggregation stage.
+
+    Sum/mean aggregation maps to a fused SpMM (gather + accumulate);
+    max-pooling maps to copy_u (edge materialisation) followed by a
+    segmented max — one extra pass over the edge tensor.
+    """
+    nodes, edges, dim = graph.num_nodes, graph.num_edges, stage.dim
+    feat = dim * ELEM_BYTES
+    kernels = [KernelProfile(
+        name=f"{prefix}/degree-norm",
+        flops=2.0 * nodes,
+        regular_read_bytes=nodes * ELEM_BYTES,
+        regular_write_bytes=nodes * ELEM_BYTES,
+        parallel_rows=nodes,
+    )]
+    if stage.reduce == "sum":
+        kernels.append(KernelProfile(
+            name=f"{prefix}/spmm",
+            flops=2.0 * edges * dim + (2.0 * nodes * dim
+                                       if stage.include_self else 0.0),
+            irregular_read_bytes=float(edges) * feat,
+            regular_read_bytes=float(nodes) * feat,
+            irregular_write_bytes=0.0,
+            regular_write_bytes=float(nodes) * feat,
+            parallel_rows=nodes,
+        ))
+    else:
+        kernels.append(KernelProfile(
+            name=f"{prefix}/copy-u",
+            irregular_read_bytes=float(edges) * feat,
+            regular_write_bytes=float(edges) * feat,
+            parallel_rows=edges,
+        ))
+        kernels.append(KernelProfile(
+            name=f"{prefix}/segment-max",
+            flops=1.0 * edges * dim,
+            regular_read_bytes=float(edges) * feat,
+            regular_write_bytes=float(nodes) * feat,
+            parallel_rows=nodes,
+        ))
+        if stage.include_self:
+            kernels.append(KernelProfile(
+                name=f"{prefix}/self-max",
+                flops=1.0 * nodes * dim,
+                regular_read_bytes=2.0 * nodes * feat,
+                regular_write_bytes=float(nodes) * feat,
+                parallel_rows=nodes,
+            ))
+    return kernels
+
+
+def extract_kernels(stage: ExtractStage, graph: Graph,
+                    prefix: str) -> list[KernelProfile]:
+    """Kernels for one dense stage: optional concat, GEMM, activation."""
+    nodes = graph.num_nodes
+    kernels = []
+    if stage.concat_self:
+        concat_bytes = float(nodes) * stage.weight_in_dim * ELEM_BYTES
+        kernels.append(KernelProfile(
+            name=f"{prefix}/concat",
+            regular_read_bytes=concat_bytes,
+            regular_write_bytes=concat_bytes,
+            parallel_rows=nodes,
+        ))
+    in_bytes = float(nodes) * stage.weight_in_dim * ELEM_BYTES
+    weight_bytes = float(stage.weight_in_dim) * stage.out_dim * ELEM_BYTES
+    out_bytes = float(nodes) * stage.out_dim * ELEM_BYTES
+    kernels.append(KernelProfile(
+        name=f"{prefix}/gemm",
+        flops=float(stage.flops(nodes)),
+        regular_read_bytes=in_bytes + weight_bytes,
+        regular_write_bytes=out_bytes,
+        parallel_rows=nodes,
+    ))
+    if stage.activation != "none" or stage.bias:
+        kernels.append(KernelProfile(
+            name=f"{prefix}/bias-act",
+            flops=2.0 * nodes * stage.out_dim,
+            regular_read_bytes=out_bytes,
+            regular_write_bytes=out_bytes,
+            parallel_rows=nodes,
+        ))
+    return kernels
+
+
+def model_kernels(model: GNNModel, graph: Graph) -> list[KernelProfile]:
+    """The full kernel sequence of one forward pass of ``model``."""
+    kernels: list[KernelProfile] = []
+    for layer_index, layer in enumerate(model.layers):
+        for stage_index, stage in enumerate(layer.stages):
+            prefix = f"l{layer_index}s{stage_index}"
+            if isinstance(stage, AggregateStage):
+                kernels.extend(aggregate_kernels(stage, graph, prefix))
+            elif isinstance(stage, ExtractStage):
+                kernels.extend(extract_kernels(stage, graph, prefix))
+            else:  # pragma: no cover - closed union
+                raise ModelError(f"unknown stage {stage!r}")
+    return kernels
+
+
+def model_flops(model: GNNModel, graph: Graph) -> float:
+    """Total forward-pass FLOPs (for roofline sanity checks)."""
+    return sum(k.flops for k in model_kernels(model, graph))
+
+
+def model_bytes(model: GNNModel, graph: Graph) -> float:
+    """Total forward-pass DRAM traffic under no-reuse assumptions."""
+    return sum(k.total_bytes for k in model_kernels(model, graph))

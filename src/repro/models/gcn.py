@@ -1,0 +1,26 @@
+"""GCN (Kipf & Welling) expressed in the stage IR.
+
+One layer computes ``H' = act(Â H W)`` with the symmetrically normalised,
+self-loop-augmented adjacency ``Â = D̂^-1/2 (A + I) D̂^-1/2``. In the
+paper's execution order (Algorithm 1) the aggregation ``Â H`` runs first
+on the Graph Engine, then the Dense Engine applies ``W`` — a *graph-first*
+layer.
+"""
+
+from __future__ import annotations
+
+from repro.models.stages import AggregateStage, ExtractStage, GNNLayer
+
+
+def gcn_layer(in_dim: int, out_dim: int, activation: str = "relu",
+              name: str = "gcn") -> GNNLayer:
+    """One graph-convolution layer: sym-normalised sum, then a linear."""
+    return GNNLayer(
+        name=name,
+        stages=(
+            AggregateStage(dim=in_dim, reduce="sum", normalization="sym",
+                           include_self=True),
+            ExtractStage(in_dim=in_dim, out_dim=out_dim,
+                         activation=activation, name=f"{name}-linear"),
+        ),
+    )

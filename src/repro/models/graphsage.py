@@ -1,0 +1,26 @@
+"""GraphSAGE with mean aggregation (Eq 1 of the paper).
+
+``z̄ = mean{h_v : v in N(u) ∪ u}``, then ``h' = act(W · (z̄ ∥ h))``: the
+mean over the closed neighbourhood is concatenated with the node's own
+feature before the linear layer, so the weight matrix has ``2 * in_dim``
+input columns. Aggregation precedes extraction — a *graph-first* layer.
+"""
+
+from __future__ import annotations
+
+from repro.models.stages import AggregateStage, ExtractStage, GNNLayer
+
+
+def graphsage_layer(in_dim: int, out_dim: int, activation: str = "relu",
+                    name: str = "gsage") -> GNNLayer:
+    """One GraphSAGE-mean layer."""
+    return GNNLayer(
+        name=name,
+        stages=(
+            AggregateStage(dim=in_dim, reduce="sum", normalization="mean",
+                           include_self=True),
+            ExtractStage(in_dim=in_dim, out_dim=out_dim,
+                         activation=activation, concat_self=True,
+                         self_dim=in_dim, name=f"{name}-linear"),
+        ),
+    )

@@ -1,0 +1,41 @@
+"""GraphSAGE with max-pool aggregation (Eq 2 of the paper).
+
+``z = act(W_pool · h)`` transforms every node feature *before*
+aggregation, then ``z̄ = max{z_v : v in N(u) ∪ u}`` pools element-wise,
+and ``h' = act(W · (z̄ ∥ h))`` combines with the raw feature.
+
+The pool transform runs on the Dense Engine *before* any aggregation, so
+this is a *dense-first* layer — "the feature extraction for z is consumed
+by the aggregation" (Sec II-A). This is the workload HyGCN's fixed
+aggregation-is-producer pipeline cannot express (Sec I, VII), and the
+reason the GNNerator Controller supports both producer orders.
+"""
+
+from __future__ import annotations
+
+from repro.models.stages import AggregateStage, ExtractStage, GNNLayer
+
+
+def graphsage_pool_layer(in_dim: int, out_dim: int,
+                         activation: str = "relu",
+                         pool_dim: int | None = None,
+                         name: str = "gsage-max") -> GNNLayer:
+    """One GraphSAGE-pool layer.
+
+    ``pool_dim`` is the dimensionality of the pooled representation
+    (defaults to ``out_dim``, the customary DGL configuration).
+    """
+    if pool_dim is None:
+        pool_dim = out_dim
+    return GNNLayer(
+        name=name,
+        stages=(
+            ExtractStage(in_dim=in_dim, out_dim=pool_dim,
+                         activation="relu", name=f"{name}-pool"),
+            AggregateStage(dim=pool_dim, reduce="max",
+                           normalization="none", include_self=True),
+            ExtractStage(in_dim=pool_dim, out_dim=out_dim,
+                         activation=activation, concat_self=True,
+                         self_dim=in_dim, name=f"{name}-linear"),
+        ),
+    )

@@ -1,0 +1,115 @@
+"""Dense-layer primitives shared by the reference models and the runtime.
+
+Activations are implemented once here so the Dense Engine's activation
+unit, the functional runtime, and the numpy reference all apply exactly
+the same function (bit-identical outputs are asserted in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.stages import ExtractStage, GNNModel, ModelError
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Split by sign for numerical stability at large |x|.
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out.astype(x.dtype)
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+ACTIVATIONS = {"relu": relu, "sigmoid": sigmoid, "none": identity}
+
+
+def apply_activation(name: str, x: np.ndarray) -> np.ndarray:
+    try:
+        return ACTIVATIONS[name](x)
+    except KeyError:
+        raise ModelError(f"unknown activation {name!r}") from None
+
+
+def glorot_uniform(shape: tuple[int, int],
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init, the DGL default for graph conv layers."""
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+class Parameters:
+    """Weight storage for a model, keyed by ``(layer_index, stage_index)``.
+
+    Only :class:`ExtractStage` entries have parameters: a weight matrix of
+    ``stage.weight_shape`` and (optionally) a bias of ``out_dim``.
+    """
+
+    def __init__(self) -> None:
+        self._weights: dict[tuple[int, int], np.ndarray] = {}
+        self._biases: dict[tuple[int, int], np.ndarray | None] = {}
+
+    def set(self, key: tuple[int, int], weight: np.ndarray,
+            bias: np.ndarray | None) -> None:
+        self._weights[key] = np.asarray(weight, dtype=np.float32)
+        self._biases[key] = (None if bias is None
+                             else np.asarray(bias, dtype=np.float32))
+
+    def weight(self, layer: int, stage: int) -> np.ndarray:
+        try:
+            return self._weights[(layer, stage)]
+        except KeyError:
+            raise ModelError(
+                f"no weights for layer {layer} stage {stage}") from None
+
+    def bias(self, layer: int, stage: int) -> np.ndarray | None:
+        return self._biases.get((layer, stage))
+
+    def keys(self) -> list[tuple[int, int]]:
+        return sorted(self._weights)
+
+    @property
+    def total_bytes(self) -> int:
+        total = sum(w.nbytes for w in self._weights.values())
+        total += sum(b.nbytes for b in self._biases.values()
+                     if b is not None)
+        return total
+
+
+def init_parameters(model: GNNModel, seed: int = 0) -> Parameters:
+    """Deterministic Glorot initialisation of every extract stage."""
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    params = Parameters()
+    for layer_index, layer in enumerate(model.layers):
+        for stage_index, stage in enumerate(layer.stages):
+            if not isinstance(stage, ExtractStage):
+                continue
+            weight = glorot_uniform(stage.weight_shape, rng)
+            bias = (np.zeros(stage.out_dim, dtype=np.float32)
+                    if stage.bias else None)
+            params.set((layer_index, stage_index), weight, bias)
+    return params
+
+
+def dense_forward(stage: ExtractStage, x: np.ndarray,
+                  weight: np.ndarray,
+                  bias: np.ndarray | None) -> np.ndarray:
+    """``act(x @ W + b)`` with shape checking — the Dense Engine's math."""
+    if x.shape[1] != stage.weight_in_dim:
+        raise ModelError(
+            f"extract {stage.name!r} expected {stage.weight_in_dim} input "
+            f"columns, got {x.shape[1]}")
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return apply_activation(stage.activation, out)

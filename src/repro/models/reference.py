@@ -1,0 +1,117 @@
+"""Functional reference executor: ground truth for every other path.
+
+Runs a :class:`~repro.models.stages.GNNModel` over a graph with plain
+numpy/scipy — no sharding, no blocking, no hardware model. The compiled,
+sharded, dimension-blocked runtime (:mod:`repro.compiler.runtime`) must
+reproduce these outputs to float tolerance; that equivalence is the
+central functional invariant of the repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+from repro.models.layers import Parameters, dense_forward
+from repro.models.stages import (
+    AggregateStage,
+    ExtractStage,
+    GNNModel,
+    ModelError,
+)
+
+
+def aggregate_reference(stage: AggregateStage, graph: Graph,
+                        h: np.ndarray) -> np.ndarray:
+    """Dense ``(N, dim)`` aggregation of ``h`` along the graph's edges."""
+    if h.shape != (graph.num_nodes, stage.dim):
+        raise ModelError(
+            f"aggregate expected {(graph.num_nodes, stage.dim)}, "
+            f"got {h.shape}")
+    weights = stage.edge_weights(graph)
+    self_weights = stage.self_weights(graph)
+    if stage.reduce == "sum":
+        return _weighted_sum(graph, h, weights, self_weights)
+    return _segment_max(graph, h, weights, self_weights)
+
+
+def _weighted_sum(graph: Graph, h: np.ndarray, weights: np.ndarray,
+                  self_weights: np.ndarray | None) -> np.ndarray:
+    matrix = sp.csr_matrix(
+        (weights.astype(np.float64), (graph.dst, graph.src)),
+        shape=(graph.num_nodes, graph.num_nodes))
+    out = matrix @ h.astype(np.float64)
+    if self_weights is not None:
+        out += self_weights[:, None].astype(np.float64) * h
+    return out.astype(np.float32)
+
+
+def _segment_max(graph: Graph, h: np.ndarray, weights: np.ndarray,
+                 self_weights: np.ndarray | None) -> np.ndarray:
+    if self_weights is not None:
+        out = h * self_weights[:, None]
+    else:
+        # Nodes with no in-edges keep a zero vector (matches DGL's
+        # zero-initialised max pooling on isolated nodes).
+        out = np.zeros_like(h)
+    if graph.num_edges:
+        order = np.argsort(graph.dst, kind="stable")
+        dst_sorted = graph.dst[order]
+        values = h[graph.src[order]] * weights[order][:, None]
+        boundaries = np.flatnonzero(np.diff(dst_sorted)) + 1
+        starts = np.concatenate([[0], boundaries])
+        segment_max = np.maximum.reduceat(values, starts, axis=0)
+        segment_dst = dst_sorted[starts]
+        if self_weights is not None:
+            out[segment_dst] = np.maximum(out[segment_dst], segment_max)
+        else:
+            out[segment_dst] = segment_max
+    return out.astype(np.float32)
+
+
+def reference_forward(model: GNNModel, graph: Graph, params: Parameters,
+                      features: np.ndarray | None = None) -> np.ndarray:
+    """Run the full model; returns the final ``(N, out_dim)`` features."""
+    h = graph.features if features is None else np.asarray(
+        features, dtype=np.float32)
+    if h.shape[1] != model.in_dim:
+        raise ModelError(
+            f"model {model.name!r} expects {model.in_dim}-dim inputs, "
+            f"got {h.shape[1]}")
+    for layer_index, layer in enumerate(model.layers):
+        layer_input = h
+        for stage_index, stage in enumerate(layer.stages):
+            if isinstance(stage, AggregateStage):
+                h = aggregate_reference(stage, graph, h)
+            elif isinstance(stage, ExtractStage):
+                x = h
+                if stage.concat_self:
+                    x = np.concatenate([h, layer_input], axis=1)
+                h = dense_forward(stage, x,
+                                  params.weight(layer_index, stage_index),
+                                  params.bias(layer_index, stage_index))
+            else:  # pragma: no cover - the Stage union is closed
+                raise ModelError(f"unknown stage kind {stage!r}")
+    return h
+
+
+def layer_intermediates(model: GNNModel, graph: Graph,
+                        params: Parameters) -> list[np.ndarray]:
+    """Per-layer outputs (useful for debugging blocked execution)."""
+    outputs = []
+    h = graph.features
+    for layer_index, layer in enumerate(model.layers):
+        layer_input = h
+        for stage_index, stage in enumerate(layer.stages):
+            if isinstance(stage, AggregateStage):
+                h = aggregate_reference(stage, graph, h)
+            else:
+                x = h
+                if stage.concat_self:
+                    x = np.concatenate([h, layer_input], axis=1)
+                h = dense_forward(stage, x,
+                                  params.weight(layer_index, stage_index),
+                                  params.bias(layer_index, stage_index))
+        outputs.append(h)
+    return outputs

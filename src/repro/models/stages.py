@@ -1,0 +1,248 @@
+"""Stage-level intermediate representation of GNN layers (Sec II-A).
+
+Every network in the paper decomposes into two stage kinds per layer:
+
+* :class:`AggregateStage` — irregular neighbourhood reduction, executed by
+  the Graph Engine;
+* :class:`ExtractStage` — dense fully-connected transform, executed by the
+  Dense Engine.
+
+Either may precede the other ("Either stage may precede the other",
+Sec II-A); the order determines which engine is the producer and is what
+the GNNerator Controller synchronises on (Sec III-C).
+
+Aggregation is normalised here to a single canonical form the hardware's
+Apply/Reduce units implement directly::
+
+    out[v] = reduce_{u in N(v)} ( w(u, v) * h[u] )   (+ s(v) * h[v])
+
+with ``reduce`` either ``sum`` or ``max``. Mean aggregation becomes a sum
+with weights ``1 / (indeg(v) + 1)``; GCN's symmetric normalisation becomes
+per-edge weights ``1 / sqrt(d̂(u) d̂(v))``; max pooling uses unit weights.
+The weight vectors are precomputed per graph by :meth:`edge_weights` /
+:meth:`self_weights` — this is the "edge information" the Shard Compute
+Unit's Edge Fetcher distributes to the Apply units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+class ModelError(ValueError):
+    """Raised for malformed model/stage definitions."""
+
+
+#: Reduction operators supported by the GPE Reduce Unit.
+REDUCE_OPS = ("sum", "max")
+
+#: Normalisations supported for sum-reduction.
+NORMALIZATIONS = ("none", "mean", "sym")
+
+
+@dataclass(frozen=True)
+class AggregateStage:
+    """Neighbourhood aggregation executed on the Graph Engine.
+
+    Parameters
+    ----------
+    dim:
+        Feature dimensionality flowing through the stage (input == output).
+    reduce:
+        ``"sum"`` or ``"max"`` (the Reduce Unit operation).
+    normalization:
+        ``"none"``, ``"mean"`` (divide by ``indeg + 1``) or ``"sym"``
+        (GCN's ``1/sqrt(d̂u d̂v)``). Only meaningful with sum-reduction.
+    include_self:
+        Whether node ``v``'s own feature participates (the ``∪ u`` in
+        Eq 1/2 of the paper).
+    """
+
+    dim: int
+    reduce: str = "sum"
+    normalization: str = "none"
+    include_self: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ModelError("aggregate dim must be positive")
+        if self.reduce not in REDUCE_OPS:
+            raise ModelError(f"unknown reduce op {self.reduce!r}")
+        if self.normalization not in NORMALIZATIONS:
+            raise ModelError(
+                f"unknown normalization {self.normalization!r}")
+        if self.reduce == "max" and self.normalization != "none":
+            raise ModelError("max-reduction cannot be normalised")
+
+    @property
+    def in_dim(self) -> int:
+        return self.dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.dim
+
+    @property
+    def kind(self) -> str:
+        return "aggregate"
+
+    # ------------------------------------------------------------------
+    def _degree_hat(self, graph: Graph) -> np.ndarray:
+        """Self-loop-augmented in-degree, d̂(v) = indeg(v) + 1."""
+        return graph.in_degrees().astype(np.float64) + 1.0
+
+    def edge_weights(self, graph: Graph) -> np.ndarray:
+        """Per-edge Apply-unit multiplier ``w(u, v)``, aligned with
+        ``graph.src`` / ``graph.dst`` order."""
+        if self.normalization == "none":
+            return np.ones(graph.num_edges, dtype=np.float32)
+        degree = self._degree_hat(graph)
+        if self.normalization == "mean":
+            return (1.0 / degree[graph.dst]).astype(np.float32)
+        # "sym": 1 / sqrt(d̂(u) d̂(v))
+        inv_sqrt = 1.0 / np.sqrt(degree)
+        return (inv_sqrt[graph.src] * inv_sqrt[graph.dst]).astype(np.float32)
+
+    def self_weights(self, graph: Graph) -> np.ndarray | None:
+        """Per-node multiplier ``s(v)`` for the self term, or ``None``."""
+        if not self.include_self:
+            return None
+        degree = self._degree_hat(graph)
+        if self.normalization == "none":
+            return np.ones(graph.num_nodes, dtype=np.float32)
+        if self.normalization == "mean":
+            return (1.0 / degree).astype(np.float32)
+        return (1.0 / degree).astype(np.float32)  # "sym": 1/d̂(v)
+
+
+@dataclass(frozen=True)
+class ExtractStage:
+    """Dense feature extraction executed on the Dense Engine.
+
+    Computes ``act(W @ x (+ concat term) + b)``. With ``concat_self``
+    set, the input is the concatenation of the stage's incoming value and
+    the *layer input* feature (the ``z̄ ∪ h`` of Eq 1/2), so the weight
+    matrix has ``in_dim + self_dim`` input columns.
+    """
+
+    in_dim: int
+    out_dim: int
+    activation: str = "relu"
+    concat_self: bool = False
+    self_dim: int = 0
+    bias: bool = True
+    name: str = "extract"
+
+    def __post_init__(self) -> None:
+        if self.in_dim <= 0 or self.out_dim <= 0:
+            raise ModelError("extract dims must be positive")
+        if self.activation not in ("relu", "sigmoid", "none"):
+            raise ModelError(f"unknown activation {self.activation!r}")
+        if self.concat_self and self.self_dim <= 0:
+            raise ModelError("concat_self requires a positive self_dim")
+        if not self.concat_self and self.self_dim != 0:
+            raise ModelError("self_dim is only meaningful with concat_self")
+
+    @property
+    def kind(self) -> str:
+        return "extract"
+
+    @property
+    def weight_in_dim(self) -> int:
+        """Input columns of the weight matrix (includes the concat part)."""
+        return self.in_dim + self.self_dim
+
+    @property
+    def weight_shape(self) -> tuple[int, int]:
+        return (self.weight_in_dim, self.out_dim)
+
+    def flops(self, num_nodes: int) -> int:
+        """MAC-based FLOP count of the stage over ``num_nodes`` rows."""
+        return 2 * num_nodes * self.weight_in_dim * self.out_dim
+
+
+Stage = AggregateStage | ExtractStage
+
+
+@dataclass(frozen=True)
+class GNNLayer:
+    """One GNN layer: an ordered pipeline of stages."""
+
+    stages: tuple[Stage, ...]
+    name: str = "layer"
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ModelError("a layer needs at least one stage")
+        for left, right in zip(self.stages, self.stages[1:]):
+            carried = left.out_dim
+            if isinstance(right, ExtractStage):
+                expected = right.in_dim
+            else:
+                expected = right.in_dim
+            if carried != expected:
+                raise ModelError(
+                    f"stage dim mismatch in {self.name!r}: "
+                    f"{carried} -> {expected}")
+
+    @property
+    def in_dim(self) -> int:
+        first = self.stages[0]
+        return first.in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.stages[-1].out_dim
+
+    @property
+    def producer(self) -> str:
+        """Which engine produces first: ``"graph"`` or ``"dense"``.
+
+        Graph-first layers (GCN, GraphSAGE) have the Dense Engine consume
+        aggregated features; dense-first layers (GraphSAGE-Pool) have the
+        Graph Engine consume extracted features (Sec III-C).
+        """
+        first = self.stages[0]
+        return "graph" if isinstance(first, AggregateStage) else "dense"
+
+    @property
+    def aggregate_stages(self) -> list[AggregateStage]:
+        return [s for s in self.stages if isinstance(s, AggregateStage)]
+
+    @property
+    def extract_stages(self) -> list[ExtractStage]:
+        return [s for s in self.stages if isinstance(s, ExtractStage)]
+
+
+@dataclass(frozen=True)
+class GNNModel:
+    """A stack of GNN layers (Sec II-A: stacking widens the receptive
+    field by one hop per layer)."""
+
+    name: str
+    layers: tuple[GNNLayer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ModelError("a model needs at least one layer")
+        for left, right in zip(self.layers, self.layers[1:]):
+            if left.out_dim != right.in_dim:
+                raise ModelError(
+                    f"layer dim mismatch in {self.name!r}: "
+                    f"{left.out_dim} -> {right.in_dim}")
+
+    @property
+    def in_dim(self) -> int:
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.layers[-1].out_dim
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)

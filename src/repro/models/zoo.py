@@ -1,0 +1,67 @@
+"""Network factory reproducing Table III.
+
+All three benchmark networks use one hidden layer of dimension 16: an
+input layer ``D -> hidden`` followed by an output layer
+``hidden -> num_classes`` (activation on the hidden layer only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.gcn import gcn_layer
+from repro.models.graphsage import graphsage_layer
+from repro.models.graphsage_pool import graphsage_pool_layer
+from repro.models.stages import GNNLayer, GNNModel, ModelError
+
+LayerFactory = Callable[..., GNNLayer]
+
+_LAYER_FACTORIES: dict[str, LayerFactory] = {
+    "gcn": gcn_layer,
+    "graphsage": graphsage_layer,
+    "graphsage-pool": graphsage_pool_layer,
+}
+
+NETWORK_NAMES = tuple(sorted(_LAYER_FACTORIES))
+
+
+def layer_factory(network: str) -> LayerFactory:
+    try:
+        return _LAYER_FACTORIES[network]
+    except KeyError:
+        known = ", ".join(NETWORK_NAMES)
+        raise ModelError(
+            f"unknown network {network!r}; known networks: {known}"
+        ) from None
+
+
+def build_network(network: str, input_dim: int, num_classes: int,
+                  hidden_dim: int = 16,
+                  num_hidden_layers: int = 1) -> GNNModel:
+    """Build a Table III network: ``num_hidden_layers`` hidden layers of
+    width ``hidden_dim`` plus one output layer."""
+    if input_dim <= 0 or num_classes <= 0 or hidden_dim <= 0:
+        raise ModelError("network dimensions must be positive")
+    if num_hidden_layers < 0:
+        raise ModelError("num_hidden_layers cannot be negative")
+    factory = layer_factory(network)
+    layers: list[GNNLayer] = []
+    current = input_dim
+    for index in range(num_hidden_layers):
+        layers.append(factory(current, hidden_dim, activation="relu",
+                              name=f"{network}-l{index}"))
+        current = hidden_dim
+    layers.append(factory(current, num_classes, activation="none",
+                          name=f"{network}-out"))
+    return GNNModel(name=network, layers=tuple(layers))
+
+
+def network_table() -> list[dict[str, str]]:
+    """Render Table III as report rows."""
+    pretty = {"gcn": "GCN", "graphsage": "Graphsage",
+              "graphsage-pool": "GraphsagePool"}
+    return [
+        {"Network": pretty[name], "Hidden Layers": "1",
+         "Hidden Dimension": "16"}
+        for name in ("gcn", "graphsage", "graphsage-pool")
+    ]

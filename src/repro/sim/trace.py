@@ -1,0 +1,94 @@
+"""Execution tracing: per-unit operation timelines.
+
+A :class:`Tracer` collects ``(unit, label, issue, complete)`` events as
+the unit processes retire operations; from the trace one can render an
+ASCII Gantt chart of the pipeline and *measure* the overlap the
+GNNerator Controller is supposed to deliver — e.g. that in a
+graph-first layer the Dense Engine starts consuming aggregated blocks
+long before the Graph Engine finishes the layer (Sec III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One retired operation."""
+
+    unit: str
+    label: str
+    issue: int  # cycle the op reached the head of its queue
+    complete: int  # cycle it finished
+
+    @property
+    def duration(self) -> int:
+        return self.complete - self.issue
+
+
+@dataclass
+class Tracer:
+    """Event sink handed to the unit processes."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, unit: str, label: str, issue: int,
+               complete: int) -> None:
+        self.events.append(TraceEvent(unit=unit, label=label, issue=issue,
+                                      complete=complete))
+
+    def for_unit(self, unit: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.unit == unit]
+
+    def busy_intervals(self, unit: str) -> list[tuple[int, int]]:
+        """Merged [start, end) busy windows of one unit."""
+        intervals = sorted((e.issue, e.complete)
+                           for e in self.for_unit(unit) if e.duration > 0)
+        merged: list[tuple[int, int]] = []
+        for start, end in intervals:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def first_activity(self, unit: str) -> int | None:
+        events = [e for e in self.for_unit(unit) if e.duration > 0]
+        return min((e.issue for e in events), default=None)
+
+    def last_activity(self, unit: str) -> int | None:
+        events = [e for e in self.for_unit(unit) if e.duration > 0]
+        return max((e.complete for e in events), default=None)
+
+
+def overlap_cycles(tracer: Tracer, unit_a: str, unit_b: str) -> int:
+    """Cycles during which both units were busy simultaneously."""
+    total = 0
+    intervals_b = tracer.busy_intervals(unit_b)
+    for start_a, end_a in tracer.busy_intervals(unit_a):
+        for start_b, end_b in intervals_b:
+            total += max(0, min(end_a, end_b) - max(start_a, start_b))
+    return total
+
+
+def render_gantt(tracer: Tracer, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per unit, '#' where busy."""
+    units = sorted({e.unit for e in tracer.events})
+    if not units:
+        return "(empty trace)"
+    horizon = max(e.complete for e in tracer.events)
+    if horizon == 0:
+        return "(zero-length trace)"
+    scale = horizon / width
+    name_width = max(len(u) for u in units)
+    lines = [f"{'cycles'.rjust(name_width)} 0{'-' * (width - 8)}{horizon}"]
+    for unit in units:
+        row = [" "] * width
+        for start, end in tracer.busy_intervals(unit):
+            lo = min(int(start / scale), width - 1)
+            hi = min(max(int(end / scale), lo + 1), width)
+            for i in range(lo, hi):
+                row[i] = "#"
+        lines.append(f"{unit.rjust(name_width)} {''.join(row)}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Shared fixtures: small graphs and shrunken platform configurations.
+
+The ``tiny_config`` fixture shrinks every on-chip buffer so that even
+60-node graphs produce multi-shard grids, dense partial-sum spills and
+edge-buffer evictions — the machinery full-size buffers would hide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config.accelerator import (
+    DenseEngineConfig,
+    DramConfig,
+    GNNeratorConfig,
+    GraphEngineConfig,
+)
+from repro.graph.generators import erdos_renyi, path_graph, star_graph
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """60 nodes, 300 edges, 20-dim features — multi-shard under tiny
+    buffers, single-shard under real ones."""
+    return erdos_renyi(60, 300, feature_dim=20, seed=5)
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    """Bigger random graph for load-bearing integration checks."""
+    return erdos_renyi(500, 4000, feature_dim=48, seed=9)
+
+
+@pytest.fixture()
+def tiny_path():
+    return path_graph(6, feature_dim=4, seed=1)
+
+
+@pytest.fixture()
+def hub_star():
+    return star_graph(40, feature_dim=8, seed=2)
+
+
+def make_tiny_config(feature_block: int | None = 8) -> GNNeratorConfig:
+    """A GNNerator with droplet-sized buffers (forces S > 1 everywhere)."""
+    return GNNeratorConfig(
+        name="tiny",
+        dense=DenseEngineConfig(
+            rows=8, cols=8,
+            input_buffer_bytes=2048,
+            weight_buffer_bytes=2048,
+            output_buffer_bytes=512),
+        graph=GraphEngineConfig(
+            num_gpes=4, simd_width=4,
+            src_feature_buffer_bytes=2048,
+            dst_feature_buffer_bytes=2048,
+            edge_buffer_bytes=1024),
+        dram=DramConfig(bandwidth_bytes_per_s=64e9,
+                        burst_latency_cycles=10),
+        feature_block=feature_block,
+    )
+
+
+@pytest.fixture()
+def tiny_config():
+    return make_tiny_config()
+
+
+@pytest.fixture(scope="session")
+def default_config():
+    return GNNeratorConfig()
+
+
+def replace(obj, **kwargs):
+    """Terse dataclasses.replace re-export for test readability."""
+    return dataclasses.replace(obj, **kwargs)

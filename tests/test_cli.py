@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("fig3", "fig4", "fig5", "table1", "table5",
+                        "configs"):
+            args = parser.parse_args([command])
+            assert callable(args.handler)
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "cora", "gcn", "--block", "32", "--hidden-dim", "8"])
+        assert args.dataset == "cora"
+        assert args.block == 32 and args.hidden_dim == 8
+
+    def test_run_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "reddit", "gcn"])
+
+
+class TestCommands:
+    def test_configs_prints_tables(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "CORA" in out and "GNNerator" in out
+
+    def test_run_prints_result(self, capsys):
+        assert main(["run", "cora", "gcn"]) == 0
+        out = capsys.readouterr().out
+        assert "cora-gcn" in out
+        assert "GPU baseline" in out and "HyGCN baseline" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_table5_command(self, capsys):
+        assert main(["table5"]) == 0
+        assert "HyGCN" in capsys.readouterr().out
+
+    def test_trace_command(self, capsys):
+        assert main(["trace", "cora", "gcn"]) == 0
+        out = capsys.readouterr().out
+        assert "graph.compute" in out and "#" in out
+
+    def test_bottleneck_command(self, capsys):
+        assert main(["bottleneck", "cora", "gcn"]) == 0
+        out = capsys.readouterr().out
+        assert "bound by" in out
+        assert "hidden 1024" in out

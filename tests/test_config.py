@@ -1,0 +1,206 @@
+"""Unit tests for the configuration layer (Table IV encodings)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.accelerator import (
+    MIB,
+    ConfigError,
+    DenseEngineConfig,
+    DramConfig,
+    GNNeratorConfig,
+    GraphEngineConfig,
+)
+from repro.config.platforms import (
+    GpuConfig,
+    gnnerator_config,
+    hygcn_config,
+    next_generation_variants,
+    platform_table,
+    rtx_2080_ti_config,
+)
+from repro.config.workload import (
+    WorkloadSpec,
+    fig3_workloads,
+    fig5_workloads,
+)
+
+
+class TestDenseEngineConfig:
+    def test_default_matches_table4(self):
+        dense = DenseEngineConfig()
+        assert dense.rows == 64 and dense.cols == 64
+        # 64x64 MACs * 2 FLOP @ 1 GHz = 8.2 TFLOP/s ("8 for Dense").
+        assert dense.peak_flops == pytest.approx(8.192e12)
+        assert dense.total_buffer_bytes == 6 * MIB
+
+    def test_scaled_doubles_both_dimensions(self):
+        scaled = DenseEngineConfig().scaled(2)
+        assert scaled.rows == 128 and scaled.cols == 128
+        assert scaled.peak_flops == pytest.approx(4 * 8.192e12)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigError):
+            DenseEngineConfig(rows=0)
+        with pytest.raises(ConfigError):
+            DenseEngineConfig(dataflow="diagonal")
+        with pytest.raises(ConfigError):
+            DenseEngineConfig(input_buffer_bytes=0)
+
+
+class TestGraphEngineConfig:
+    def test_default_matches_table4(self):
+        graph = GraphEngineConfig()
+        assert graph.lanes == 1024  # 32 GPEs x 32 lanes
+        # 1024 lanes * 2 FLOP @ 1 GHz = 2 TFLOP/s ("2 for Graph").
+        assert graph.peak_flops == pytest.approx(2.048e12)
+        assert graph.total_buffer_bytes == 24 * MIB
+
+    def test_usable_halves_for_double_buffering(self):
+        graph = GraphEngineConfig()
+        assert graph.usable_src_bytes == graph.src_feature_buffer_bytes // 2
+        assert graph.usable_dst_bytes == graph.dst_feature_buffer_bytes // 2
+        assert graph.usable_edge_bytes == graph.edge_buffer_bytes // 2
+
+    def test_scaled_memory(self):
+        scaled = GraphEngineConfig().scaled_memory(2)
+        assert scaled.total_buffer_bytes == 48 * MIB
+        assert scaled.lanes == GraphEngineConfig().lanes  # compute same
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            GraphEngineConfig(num_gpes=0)
+        with pytest.raises(ConfigError):
+            GraphEngineConfig(edge_buffer_bytes=-1)
+
+
+class TestDramConfig:
+    def test_bytes_per_cycle(self):
+        dram = DramConfig()
+        assert dram.bytes_per_cycle == pytest.approx(256.0)
+
+    def test_transfer_cycles(self):
+        dram = DramConfig(burst_latency_cycles=100)
+        assert dram.transfer_cycles(0) == 0
+        assert dram.transfer_cycles(256) == 101
+        assert dram.transfer_cycles(2560) == 110
+
+    def test_transfer_minimum_one_cycle(self):
+        dram = DramConfig(burst_latency_cycles=0)
+        assert dram.transfer_cycles(1) == 1
+
+    def test_scaled_bandwidth(self):
+        assert DramConfig().scaled(2).bytes_per_cycle == pytest.approx(512)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            DramConfig(bandwidth_bytes_per_s=0)
+        with pytest.raises(ConfigError):
+            DramConfig().transfer_cycles(-1)
+
+
+class TestGNNeratorConfig:
+    def test_totals_match_table4(self):
+        config = gnnerator_config()
+        assert config.peak_flops == pytest.approx(10.24e12)  # "10 TFLOPs"
+        assert config.on_chip_bytes == 30 * MIB  # "30 MiB"
+
+    def test_feature_block_override(self):
+        config = gnnerator_config(feature_block=None)
+        assert config.feature_block is None
+        assert config.with_feature_block(128).feature_block == 128
+
+    def test_describe_mentions_engines(self):
+        text = gnnerator_config().describe()
+        assert "Graph" in text and "Dense" in text
+
+    def test_rejects_nonpositive_block(self):
+        with pytest.raises(ConfigError):
+            GNNeratorConfig(feature_block=0)
+
+
+class TestBaselineConfigs:
+    def test_gpu_matches_table4(self):
+        gpu = rtx_2080_ti_config()
+        assert gpu.peak_flops == pytest.approx(13.45e12)
+        assert gpu.dram_bandwidth_bytes_per_s == pytest.approx(616e9)
+
+    def test_gpu_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(gather_efficiency=0.0)
+        with pytest.raises(ConfigError):
+            GpuConfig(stream_efficiency=1.5)
+
+    def test_hygcn_matches_table4(self):
+        hygcn = hygcn_config()
+        assert hygcn.agg_peak_flops == pytest.approx(1.024e12)
+        assert hygcn.comb_peak_flops == pytest.approx(8.192e12)
+        assert hygcn.on_chip_bytes == 24 * MIB
+
+    def test_hygcn_sparsity_toggle(self):
+        assert hygcn_config(False).sparsity_elimination is False
+
+    def test_platform_table_has_three_rows(self):
+        rows = platform_table()
+        assert [r["Platform"] for r in rows] == [
+            "RTX 2080 Ti", "GNNerator", "HyGCN"]
+
+
+class TestNextGenerationVariants:
+    def test_three_variants(self):
+        variants = next_generation_variants()
+        assert set(variants) == {"more-graph-memory", "more-dense-compute",
+                                 "more-feature-bandwidth"}
+
+    def test_each_variant_scales_one_resource(self):
+        base = gnnerator_config()
+        variants = next_generation_variants(base)
+        assert (variants["more-graph-memory"].graph.total_buffer_bytes
+                == 2 * base.graph.total_buffer_bytes)
+        assert (variants["more-dense-compute"].dense.macs
+                == 4 * base.dense.macs)
+        assert (variants["more-feature-bandwidth"].dram.bytes_per_cycle
+                == 2 * base.dram.bytes_per_cycle)
+
+    def test_dense_variant_doubles_feature_block(self):
+        variants = next_generation_variants(gnnerator_config())
+        assert variants["more-dense-compute"].feature_block == 128
+        unblocked = next_generation_variants(
+            gnnerator_config(feature_block=None))
+        assert unblocked["more-dense-compute"].feature_block is None
+
+
+class TestWorkloadSpec:
+    def test_labels_match_paper_figure(self):
+        labels = [spec.label for spec in fig3_workloads()]
+        assert labels == [
+            "cora-gcn", "cora-gsage", "cora-gsage-max",
+            "citeseer-gcn", "citeseer-gsage", "citeseer-gsage-max",
+            "pub-gcn", "pub-gsage", "pub-gsage-max"]
+
+    def test_with_block_and_hidden(self):
+        spec = WorkloadSpec(dataset="cora", network="gcn")
+        assert spec.with_block(None).feature_block is None
+        assert spec.with_hidden_dim(128).hidden_dim == 128
+        # Original unchanged (frozen dataclass semantics).
+        assert spec.feature_block == 64 and spec.hidden_dim == 16
+
+    def test_fig5_workloads_cover_grid(self):
+        specs = fig5_workloads()
+        assert len(specs) == 9
+        assert {s.hidden_dim for s in specs} == {16, 128, 1024}
+
+    def test_rejects_bad_traversal(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(dataset="cora", network="gcn",
+                         traversal="diagonal")
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(dataset="cora", network="gcn", feature_block=0)
+
+    def test_frozen(self):
+        spec = WorkloadSpec(dataset="cora", network="gcn")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.dataset = "citeseer"

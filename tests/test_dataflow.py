@@ -1,0 +1,138 @@
+"""Unit tests for the Table I cost model and dimension blocking."""
+
+import pytest
+
+from repro.config.workload import DST_STATIONARY, SRC_STATIONARY
+from repro.dataflow.blocking import (
+    BlockPlan,
+    dimension_blocked_walk,
+    plan_blocks,
+)
+from repro.dataflow.costs import (
+    best_traversal,
+    dst_stationary_cost,
+    src_stationary_cost,
+    traversal_cost,
+)
+from repro.graph.graph import GraphError
+from repro.graph.traversal import simulate_residency, traversal_order
+
+
+class TestCostModel:
+    @pytest.mark.parametrize("side", [1, 2, 3, 5, 9])
+    def test_formulas_match_table1(self, side):
+        rows = 7
+        src = src_stationary_cost(side, rows)
+        assert src.src_read_rows == side * rows
+        assert src.dst_read_rows == (side - 1) ** 2 * rows
+        assert src.dst_write_rows == (side * side - side + 1) * rows
+        dst = dst_stationary_cost(side, rows)
+        assert dst.src_read_rows == (side * side - side + 1) * rows
+        assert dst.dst_read_rows == 0
+        assert dst.dst_write_rows == side * rows
+
+    @pytest.mark.parametrize("side", [1, 2, 4, 7])
+    def test_matches_residency_replay(self, side):
+        """Closed forms agree with the replay, per-interval units."""
+        for order_name, cost_fn in (
+                (SRC_STATIONARY, src_stationary_cost),
+                (DST_STATIONARY, dst_stationary_cost)):
+            replay = simulate_residency(
+                traversal_order(order_name, side), side)
+            cost = cost_fn(side, 1)
+            assert cost.src_read_rows + cost.dst_read_rows == \
+                replay.src_loads + replay.dst_loads
+            assert cost.dst_write_rows == replay.dst_stores
+
+    def test_dst_never_worse_with_equal_intervals(self):
+        """Why Algorithm 1 is destination-major (Sec IV-A)."""
+        for side in range(1, 12):
+            src = src_stationary_cost(side, 5)
+            dst = dst_stationary_cost(side, 5)
+            assert dst.total_rows <= src.total_rows
+
+    def test_asymmetric_intervals_can_flip_choice(self):
+        """Tiny destination rows (post-extraction) favour src-stationary."""
+        choice = best_traversal(6, src_rows=1000, dst_rows=1)
+        assert choice == SRC_STATIONARY
+
+    def test_best_traversal_default(self):
+        assert best_traversal(4, 10) == DST_STATIONARY
+
+    def test_traversal_cost_dispatch(self):
+        assert traversal_cost(SRC_STATIONARY, 3, 2).order == SRC_STATIONARY
+        with pytest.raises(GraphError):
+            traversal_cost("zigzag", 3, 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(GraphError):
+            src_stationary_cost(0, 5)
+        with pytest.raises(GraphError):
+            dst_stationary_cost(3, -1)
+
+
+class TestBlockPlan:
+    def test_slices_partition_dimension(self):
+        plan = BlockPlan(dim=100, block=32)
+        slices = plan.slices()
+        assert slices[0] == slice(0, 32)
+        assert slices[-1] == slice(96, 100)
+        covered = sorted(d for s in slices for d in range(s.start, s.stop))
+        assert covered == list(range(100))
+
+    def test_num_blocks(self):
+        assert BlockPlan(dim=100, block=32).num_blocks == 4
+        assert BlockPlan(dim=64, block=64).num_blocks == 1
+
+    def test_is_blocked(self):
+        assert BlockPlan(dim=100, block=32).is_blocked
+        assert not BlockPlan(dim=64, block=64).is_blocked
+
+    def test_block_width(self):
+        plan = BlockPlan(dim=100, block=32)
+        assert plan.block_width(0) == 32
+        assert plan.block_width(3) == 4
+
+    def test_block_slice_bounds(self):
+        plan = BlockPlan(dim=10, block=4)
+        with pytest.raises(GraphError):
+            plan.block_slice(3)
+
+    def test_plan_blocks_none_means_full(self):
+        plan = plan_blocks(50, None)
+        assert plan.num_blocks == 1 and plan.block == 50
+
+    def test_plan_blocks_clamps_oversized(self):
+        assert plan_blocks(50, 4096).block == 50
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(GraphError):
+            BlockPlan(dim=0, block=1)
+        with pytest.raises(GraphError):
+            BlockPlan(dim=10, block=0)
+
+
+class TestBlockedWalk:
+    def test_block_loop_outermost(self):
+        """Algorithm 1: every shard of block b before any of block b+1."""
+        plan = BlockPlan(dim=8, block=4)
+        walk = list(dimension_blocked_walk(plan, 2, DST_STATIONARY))
+        assert len(walk) == 2 * 4
+        blocks = [b for b, _, _ in walk]
+        assert blocks == sorted(blocks)
+
+    def test_within_block_matches_traversal(self):
+        plan = BlockPlan(dim=4, block=4)
+        walk = list(dimension_blocked_walk(plan, 3, SRC_STATIONARY))
+        cells = [(r, c) for _, r, c in walk]
+        assert cells == traversal_order(SRC_STATIONARY, 3)
+
+    def test_unblocked_walk_single_pass(self):
+        plan = plan_blocks(16, None)
+        walk = list(dimension_blocked_walk(plan, 2, DST_STATIONARY))
+        assert len(walk) == 4
+
+    def test_rejects_unknown_traversal(self):
+        plan = BlockPlan(dim=4, block=2)
+        with pytest.raises(GraphError):
+            list(dimension_blocked_walk(plan, 2, "spiral"))

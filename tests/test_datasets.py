@@ -1,0 +1,79 @@
+"""Unit tests for the dataset registry (Table II)."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    dataset_stats,
+    dataset_table,
+    load_dataset,
+)
+from repro.graph.graph import GraphError
+
+TABLE2 = {
+    "cora": (2708, 10556, 1433),
+    "citeseer": (3327, 9104, 3703),
+    "pubmed": (19717, 88648, 500),
+}
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_stats_match_table2(self, name):
+        stats = dataset_stats(name)
+        nodes, edges, dim = TABLE2[name]
+        assert stats.num_nodes == nodes
+        assert stats.num_edges == edges
+        assert stats.feature_dim == dim
+
+    def test_sizes_match_table2_column(self):
+        # Paper reports 15.6 / 49 / 40.5 MB for fp32 features.
+        assert dataset_stats("cora").feature_megabytes == pytest.approx(
+            15.5, abs=0.2)
+        assert dataset_stats("citeseer").feature_megabytes == pytest.approx(
+            49.3, abs=0.4)
+        assert dataset_stats("pubmed").feature_megabytes == pytest.approx(
+            39.4, abs=1.2)
+
+    def test_unknown_dataset_lists_names(self):
+        with pytest.raises(GraphError, match="cora"):
+            dataset_stats("imaginary")
+
+    def test_table_rendering(self):
+        rows = dataset_table()
+        assert len(rows) == 3
+        assert rows[0]["Dataset"] == "CORA"
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_synthetic_matches_published_counts(self, name):
+        graph = load_dataset(name)
+        stats = dataset_stats(name)
+        assert graph.num_nodes == stats.num_nodes
+        assert graph.num_edges == stats.num_edges
+        assert graph.feature_dim == stats.feature_dim
+
+    def test_loads_are_cached(self):
+        assert load_dataset("cora") is load_dataset("cora")
+
+    def test_symmetrised(self):
+        graph = load_dataset("cora")
+        pairs = set(zip(graph.src.tolist(), graph.dst.tolist()))
+        sample = list(pairs)[:200]
+        assert all((v, u) in pairs for u, v in sample)
+
+    def test_planetoid_files_preferred(self, tmp_path):
+        """A real .content/.cites pair under data_dir overrides synthesis."""
+        content = tmp_path / "cora.content"
+        cites = tmp_path / "cora.cites"
+        content.write_text(
+            "p1 1 0 1 classA\n"
+            "p2 0 1 0 classB\n"
+            "p3 1 1 1 classA\n")
+        cites.write_text("p1 p2\np2 p3\nunknown p1\n")
+        graph = load_dataset("cora", data_dir=str(tmp_path))
+        assert graph.num_nodes == 3
+        assert graph.feature_dim == 3
+        # Two parseable citations, symmetrised.
+        assert graph.num_edges == 4

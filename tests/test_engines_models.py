@@ -1,0 +1,141 @@
+"""Unit tests for the engine cycle models (systolic array, GPEs)."""
+
+import numpy as np
+import pytest
+
+from repro.config.accelerator import ConfigError, DenseEngineConfig
+from repro.engines.dense.systolic import (
+    GemmShape,
+    activation_cycles,
+    gemm_timing,
+    os_gemm_cycles,
+    ws_gemm_cycles,
+)
+from repro.engines.graph.gpe import (
+    gpe_edge_distribution,
+    gpe_utilization,
+    interval_touch_cycles,
+    lane_slots,
+    max_gpe_edges,
+    shard_compute_cycles,
+)
+from repro.graph.partition import ShardGrid
+
+
+class TestGemmShapes:
+    def test_macs_and_flops(self):
+        shape = GemmShape(m=10, k=20, n=5)
+        assert shape.macs == 1000 and shape.flops == 2000
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            GemmShape(m=0, k=1, n=1)
+
+
+class TestWeightStationary:
+    def test_single_tile(self):
+        # K=64 fits 64 rows, N=16 fits 64 cols -> one tile.
+        timing = ws_gemm_cycles(GemmShape(m=1000, k=64, n=16), 64, 64)
+        assert timing.tiles == 1
+        assert timing.cycles == 64 + 1000 + 64 + 64 - 2
+
+    def test_folds_multiply(self):
+        timing = ws_gemm_cycles(GemmShape(m=100, k=130, n=70), 64, 64)
+        assert timing.tiles == 3 * 2  # ceil(130/64) * ceil(70/64)
+
+    def test_small_k_underutilises(self):
+        """Fig 4's mechanism: B=32 fills half the rows but pays full
+        per-tile overheads, so two B=32 passes cost more than one B=64."""
+        full = ws_gemm_cycles(GemmShape(m=1000, k=64, n=16), 64, 64)
+        half = ws_gemm_cycles(GemmShape(m=1000, k=32, n=16), 64, 64)
+        assert 2 * half.cycles > full.cycles
+        assert half.utilization < full.utilization
+
+    def test_utilization_bounded(self):
+        timing = ws_gemm_cycles(GemmShape(m=10000, k=64, n=64), 64, 64)
+        assert 0 < timing.utilization <= 1.0
+
+
+class TestOutputStationary:
+    def test_single_tile(self):
+        timing = os_gemm_cycles(GemmShape(m=64, k=500, n=16), 64, 64)
+        assert timing.tiles == 1
+        assert timing.cycles == 500 + 64 + 64 - 2
+
+    def test_large_k_amortises_fill(self):
+        """OS wins the conventional (unblocked) regime: huge K streams
+        through pinned outputs."""
+        shape = GemmShape(m=64, k=4096, n=16)
+        assert (os_gemm_cycles(shape, 64, 64).cycles
+                < ws_gemm_cycles(shape, 64, 64).cycles)
+
+
+class TestAutoDataflow:
+    def test_auto_picks_minimum(self):
+        config = DenseEngineConfig(dataflow="auto")
+        for shape in (GemmShape(m=4096, k=64, n=16),
+                      GemmShape(m=64, k=4096, n=16),
+                      GemmShape(m=128, k=128, n=128)):
+            auto = gemm_timing(shape, config)
+            ws = ws_gemm_cycles(shape, config.rows, config.cols)
+            os_ = os_gemm_cycles(shape, config.rows, config.cols)
+            assert auto.cycles == min(ws.cycles, os_.cycles)
+
+    def test_explicit_dataflows_respected(self):
+        shape = GemmShape(m=100, k=100, n=100)
+        ws_cfg = DenseEngineConfig(dataflow="ws")
+        os_cfg = DenseEngineConfig(dataflow="os")
+        assert gemm_timing(shape, ws_cfg).cycles == ws_gemm_cycles(
+            shape, 64, 64).cycles
+        assert gemm_timing(shape, os_cfg).cycles == os_gemm_cycles(
+            shape, 64, 64).cycles
+
+    def test_activation_cycles(self):
+        config = DenseEngineConfig()
+        assert activation_cycles(100, 16, config) == 100 + 64
+
+
+class TestGpeModel:
+    def test_lane_slots(self):
+        assert lane_slots(64, 32) == 2
+        assert lane_slots(65, 32) == 3
+        assert lane_slots(1, 32) == 1
+        assert lane_slots(0, 32) == 0
+
+    def test_distribution_conserves_edges(self, small_graph):
+        grid = ShardGrid(small_graph, interval_size=16)
+        for shard in grid.nonempty_shards():
+            counts = gpe_edge_distribution(shard, 4)
+            assert counts.sum() == shard.num_edges
+
+    def test_hub_concentrates_on_one_gpe(self, hub_star):
+        """A star graph routes every edge to the hub's GPE — the load
+        imbalance the latency model must charge for."""
+        grid = ShardGrid(hub_star, interval_size=100)
+        shard = grid.nonempty_shards()[0]
+        assert max_gpe_edges(shard, 8) == shard.num_edges
+        assert gpe_utilization(shard, 8) == pytest.approx(
+            np.ceil(shard.num_edges / 8) / shard.num_edges)
+
+    def test_balanced_distribution(self, medium_graph):
+        grid = ShardGrid(medium_graph, interval_size=1000)
+        shard = grid.nonempty_shards()[0]
+        worst = max_gpe_edges(shard, 32)
+        ideal = -(-shard.num_edges // 32)
+        assert worst >= ideal
+
+    def test_shard_compute_cycles(self, tiny_config):
+        config = tiny_config.graph  # 4 GPEs x 4 lanes, depth 4
+        assert shard_compute_cycles(0, 8, config) == 0
+        assert shard_compute_cycles(10, 8, config) == 4 + 10 * 2
+
+    def test_interval_touch_cycles(self, tiny_config):
+        config = tiny_config.graph
+        # 100 rows over 4 GPEs = 25 each; width 8 = 2 slots.
+        assert interval_touch_cycles(100, 8, config) == 4 + 25 * 2
+
+    def test_empty_shard_distribution(self, small_graph):
+        grid = ShardGrid(small_graph, interval_size=16)
+        empty = grid.shard(0, 0)
+        if empty.num_edges == 0:
+            assert gpe_utilization(empty, 4) == 0.0

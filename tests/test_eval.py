@@ -1,0 +1,121 @@
+"""Tests for the harness, experiment reproductions, and reports."""
+
+import pytest
+
+from repro.config.workload import WorkloadSpec
+from repro.eval.experiments import (
+    FIG3_PAPER,
+    fig4_workloads,
+    table1_dataflow_costs,
+    table5_hygcn,
+)
+from repro.eval.harness import Harness, geometric_mean
+from repro.eval.report import (
+    format_table,
+    render_table1,
+    render_table5,
+)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestHarness:
+    def test_graph_cached(self):
+        assert Harness.graph("cora") is Harness.graph("cora")
+
+    def test_params_cached_per_workload(self):
+        harness = Harness()
+        spec = WorkloadSpec(dataset="cora", network="gcn")
+        assert harness.params(spec) is harness.params(spec)
+        other = spec.with_hidden_dim(32)
+        assert harness.params(other) is not harness.params(spec)
+
+    def test_model_dimensions_from_dataset(self):
+        harness = Harness()
+        spec = WorkloadSpec(dataset="citeseer", network="gcn")
+        model = harness.model(spec)
+        assert model.in_dim == 3703 and model.out_dim == 6
+
+    def test_all_platforms_speedups(self):
+        harness = Harness()
+        spec = WorkloadSpec(dataset="cora", network="gcn")
+        lat = harness.all_platforms(spec)
+        assert lat.gpu_seconds > 0
+        assert lat.speedup_blocked == pytest.approx(
+            lat.gpu_seconds / lat.gnnerator_seconds)
+        assert lat.speedup_over_hygcn == pytest.approx(
+            lat.hygcn_seconds / lat.gnnerator_seconds)
+
+
+class TestExperimentShapes:
+    """Fast shape checks; full paper-vs-measured lives in the benches."""
+
+    def test_fig3_paper_reference_complete(self):
+        labels = {"cora-gcn", "cora-gsage", "cora-gsage-max",
+                  "citeseer-gcn", "citeseer-gsage", "citeseer-gsage-max",
+                  "pub-gcn", "pub-gsage", "pub-gsage-max", "Gmean"}
+        assert set(FIG3_PAPER) == labels
+
+    def test_fig4_suite_contains_wider_hidden(self):
+        specs = fig4_workloads()
+        assert len(specs) == 15
+        assert any(s.hidden_dim == 128 for s in specs)
+
+    def test_table1_matches_analytics(self):
+        rows = table1_dataflow_costs(dataset="cora", feature_block=None)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.matches, f"{row.order} diverged from Table I"
+        src, dst = rows
+        assert src.order == "src-stationary"
+        # src-stationary spills partials; dst-stationary does not.
+        assert src.compiled_partial_bytes > 0
+        assert dst.compiled_partial_bytes == 0
+
+    def test_table5_rows(self):
+        rows = table5_hygcn()
+        assert [r.dataset for r in rows] == ["cora", "citeseer", "pubmed"]
+        for row in rows:
+            assert row.speedup_blocked > 0
+
+    def test_table5_blocking_wins_everywhere(self):
+        """The paper's Table V claim: with blocking GNNerator beats
+        HyGCN on every dataset; without, HyGCN wins on Citeseer."""
+        rows = {r.dataset: r for r in table5_hygcn()}
+        for row in rows.values():
+            assert row.speedup_blocked > 1.0
+        assert rows["citeseer"].speedup_no_blocking < 1.0
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": "1", "bb": "22"},
+                             {"a": "333", "bb": "4"}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_render_table1(self):
+        text = render_table1(table1_dataflow_costs(dataset="cora",
+                                                   feature_block=None))
+        assert "Table I" in text and "src-stationary" in text
+
+    def test_render_table5(self):
+        text = render_table5(table5_hygcn())
+        assert "HyGCN" in text and "cora" in text

@@ -1,0 +1,108 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    citation_network,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment_edges,
+    sparse_binary_features,
+    star_graph,
+)
+from repro.graph.graph import GraphError
+
+
+class TestPreferentialAttachment:
+    def test_exact_edge_count(self):
+        edges = preferential_attachment_edges(100, 350, seed=1)
+        assert edges.shape == (350, 2)
+
+    def test_no_self_loops_or_duplicates(self):
+        edges = preferential_attachment_edges(80, 250, seed=2)
+        assert (edges[:, 0] != edges[:, 1]).all()
+        assert len({tuple(e) for e in edges.tolist()}) == 250
+
+    def test_deterministic(self):
+        a = preferential_attachment_edges(50, 120, seed=7)
+        b = preferential_attachment_edges(50, 120, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = preferential_attachment_edges(50, 120, seed=7)
+        b = preferential_attachment_edges(50, 120, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_heavy_tail(self):
+        """Preferential attachment should concentrate degree on hubs."""
+        edges = preferential_attachment_edges(500, 2000, seed=3)
+        degrees = np.bincount(edges.ravel(), minlength=500)
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_rejects_impossible(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_edges(1, 5)
+        with pytest.raises(GraphError):
+            preferential_attachment_edges(4, 100)  # > n(n-1)/2
+
+
+class TestSparseFeatures:
+    def test_shape_and_binary(self):
+        feats = sparse_binary_features(50, 200, density=0.05, seed=1)
+        assert feats.shape == (50, 200)
+        assert set(np.unique(feats)) <= {0.0, 1.0}
+
+    def test_density_approximate(self):
+        feats = sparse_binary_features(200, 1000, density=0.05, seed=1)
+        assert feats.mean() == pytest.approx(0.05, rel=0.25)
+
+    def test_no_empty_rows(self):
+        feats = sparse_binary_features(300, 40, density=0.001, seed=2)
+        assert (feats.sum(axis=1) > 0).all()
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(GraphError):
+            sparse_binary_features(10, 10, density=0.0)
+        with pytest.raises(GraphError):
+            sparse_binary_features(10, 10, density=1.5)
+
+
+class TestCitationNetwork:
+    def test_published_statistics(self):
+        g = citation_network(200, 700 * 2, feature_dim=64, seed=4)
+        assert g.num_nodes == 200
+        assert g.num_edges == 1400
+        assert g.feature_dim == 64
+
+    def test_symmetric(self):
+        g = citation_network(100, 600, feature_dim=8, seed=5)
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_rejects_odd_edge_count(self):
+        with pytest.raises(GraphError):
+            citation_network(100, 601, feature_dim=8)
+
+
+class TestSimpleGenerators:
+    def test_erdos_renyi(self):
+        g = erdos_renyi(30, 100, feature_dim=6, seed=0)
+        assert g.num_edges == 100
+        assert (g.src != g.dst).all()
+        assert g.feature_dim == 6
+
+    def test_erdos_renyi_rejects_too_many(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(3, 10)
+
+    def test_star(self):
+        g = star_graph(10)
+        assert g.num_nodes == 11
+        assert (g.dst == 0).all()
+        assert g.in_degrees()[0] == 10
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.out_degrees().tolist() == [1, 1, 1, 1, 0]

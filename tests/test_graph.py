@@ -1,0 +1,130 @@
+"""Unit tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph, GraphError
+
+
+def triangle() -> Graph:
+    # 0 -> 1, 1 -> 2, 2 -> 0
+    return Graph(3, [0, 1, 2], [1, 2, 0], name="tri")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = triangle()
+        assert g.num_nodes == 3 and g.num_edges == 3
+        assert g.edge_bytes == 3 * 8
+
+    def test_from_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.num_edges == 2
+        assert g.src.tolist() == [0, 2]
+
+    def test_from_edges_empty(self):
+        g = Graph.from_edges(3, [])
+        assert g.num_edges == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            Graph(2, [0, 5], [1, 0])
+        with pytest.raises(GraphError):
+            Graph(2, [0], [-1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphError):
+            Graph(3, [0, 1], [1])
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [], [])
+
+
+class TestFeatures:
+    def test_feature_roundtrip(self):
+        g = triangle()
+        g.features = np.ones((3, 5))
+        assert g.feature_dim == 5
+        assert g.features.dtype == np.float32
+        assert g.feature_bytes == 3 * 5 * 4
+
+    def test_missing_features_raise(self):
+        g = triangle()
+        assert not g.has_features
+        with pytest.raises(GraphError):
+            _ = g.features
+
+    def test_rejects_wrong_row_count(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.features = np.ones((4, 5))
+
+    def test_rejects_1d(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.features = np.ones(3)
+
+
+class TestAdjacency:
+    def test_csr_csc_consistency(self):
+        g = triangle()
+        indptr, indices = g.csr
+        assert indptr.tolist() == [0, 1, 2, 3]
+        assert indices.tolist() == [1, 2, 0]
+        indptr_c, indices_c = g.csc
+        assert indptr_c.tolist() == [0, 1, 2, 3]
+        assert indices_c.tolist() == [2, 0, 1]
+
+    def test_degrees(self):
+        g = Graph(3, [0, 0, 1], [1, 2, 2])
+        assert g.out_degrees().tolist() == [2, 1, 0]
+        assert g.in_degrees().tolist() == [0, 1, 2]
+
+    def test_neighbors(self):
+        g = Graph(3, [0, 0, 1], [1, 2, 2])
+        assert sorted(g.in_neighbors(2).tolist()) == [0, 1]
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+        assert g.in_neighbors(0).size == 0
+
+    def test_csr_cached(self):
+        g = triangle()
+        assert g.csr is g.csr
+
+
+class TestTransformations:
+    def test_reverse_edges_symmetrises(self):
+        g = Graph(3, [0], [1]).with_reverse_edges()
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_reverse_edges_idempotent(self):
+        g = triangle().with_reverse_edges()
+        again = g.with_reverse_edges()
+        assert again.num_edges == g.num_edges
+
+    def test_self_loops_added_once(self):
+        g = Graph(2, [0, 0], [0, 1]).with_self_loops()
+        pairs = sorted(zip(g.src.tolist(), g.dst.tolist()))
+        assert pairs == [(0, 0), (0, 1), (1, 1)]
+
+    def test_without_self_loops(self):
+        g = Graph(2, [0, 0], [0, 1]).without_self_loops()
+        assert g.num_edges == 1
+
+    def test_edge_subset(self):
+        g = triangle()
+        sub = g.edge_subset([True, False, True])
+        assert sub.num_edges == 2
+        with pytest.raises(GraphError):
+            g.edge_subset([True])
+
+    def test_transforms_preserve_features(self):
+        g = triangle()
+        g.features = np.eye(3, 4, dtype=np.float32)
+        assert g.with_reverse_edges().has_features
+        assert g.with_self_loops().has_features
+
+    def test_duplicate_detection(self):
+        assert Graph(2, [0, 0], [1, 1]).has_duplicate_edges()
+        assert not triangle().has_duplicate_edges()

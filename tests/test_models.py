@@ -1,0 +1,229 @@
+"""Unit tests for the stage IR, layers, and the three networks."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.models.gcn import gcn_layer
+from repro.models.graphsage import graphsage_layer
+from repro.models.graphsage_pool import graphsage_pool_layer
+from repro.models.layers import (
+    Parameters,
+    apply_activation,
+    dense_forward,
+    glorot_uniform,
+    init_parameters,
+    relu,
+    sigmoid,
+)
+from repro.models.stages import (
+    AggregateStage,
+    ExtractStage,
+    GNNLayer,
+    GNNModel,
+    ModelError,
+)
+from repro.models.zoo import build_network, layer_factory, network_table
+
+
+def simple_graph() -> Graph:
+    # 0 -> 2, 1 -> 2, 2 -> 0 ; in-degrees: [1, 0, 2]
+    g = Graph(3, [0, 1, 2], [2, 2, 0])
+    g.features = np.arange(12, dtype=np.float32).reshape(3, 4)
+    return g
+
+
+class TestAggregateStage:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AggregateStage(dim=0)
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, reduce="median")
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, normalization="bad")
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, reduce="max", normalization="mean")
+
+    def test_mean_weights(self):
+        g = simple_graph()
+        stage = AggregateStage(dim=4, normalization="mean")
+        weights = stage.edge_weights(g)
+        # Destination 2 has indeg 2 -> w = 1/(2+1); destination 0 indeg 1.
+        assert weights[0] == pytest.approx(1 / 3)
+        assert weights[2] == pytest.approx(1 / 2)
+        self_w = stage.self_weights(g)
+        assert self_w[2] == pytest.approx(1 / 3)
+
+    def test_sym_weights(self):
+        g = simple_graph()
+        stage = AggregateStage(dim=4, normalization="sym")
+        weights = stage.edge_weights(g)
+        # Edge 0->2: d̂(0)=2, d̂(2)=3 -> 1/sqrt(6).
+        assert weights[0] == pytest.approx(1 / np.sqrt(6))
+        self_w = stage.self_weights(g)
+        assert self_w[0] == pytest.approx(1 / 2)
+
+    def test_unit_weights(self):
+        g = simple_graph()
+        stage = AggregateStage(dim=4, reduce="max")
+        assert (stage.edge_weights(g) == 1.0).all()
+        assert (stage.self_weights(g) == 1.0).all()
+
+    def test_no_self(self):
+        stage = AggregateStage(dim=4, include_self=False)
+        assert stage.self_weights(simple_graph()) is None
+
+
+class TestExtractStage:
+    def test_weight_shape_plain(self):
+        stage = ExtractStage(in_dim=8, out_dim=3)
+        assert stage.weight_shape == (8, 3)
+
+    def test_weight_shape_concat(self):
+        stage = ExtractStage(in_dim=8, out_dim=3, concat_self=True,
+                             self_dim=5)
+        assert stage.weight_in_dim == 13
+
+    def test_flops(self):
+        stage = ExtractStage(in_dim=8, out_dim=3)
+        assert stage.flops(10) == 2 * 10 * 8 * 3
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ExtractStage(in_dim=0, out_dim=1)
+        with pytest.raises(ModelError):
+            ExtractStage(in_dim=1, out_dim=1, activation="tanh")
+        with pytest.raises(ModelError):
+            ExtractStage(in_dim=1, out_dim=1, concat_self=True)
+        with pytest.raises(ModelError):
+            ExtractStage(in_dim=1, out_dim=1, self_dim=4)
+
+
+class TestLayersAndModels:
+    def test_layer_dim_chaining(self):
+        with pytest.raises(ModelError, match="mismatch"):
+            GNNLayer(stages=(AggregateStage(dim=4),
+                             ExtractStage(in_dim=5, out_dim=2)))
+
+    def test_model_dim_chaining(self):
+        layer_a = gcn_layer(4, 8)
+        layer_b = gcn_layer(16, 2)
+        with pytest.raises(ModelError, match="mismatch"):
+            GNNModel(name="bad", layers=(layer_a, layer_b))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            GNNLayer(stages=())
+        with pytest.raises(ModelError):
+            GNNModel(name="empty", layers=())
+
+    def test_producer_order(self):
+        assert gcn_layer(4, 2).producer == "graph"
+        assert graphsage_layer(4, 2).producer == "graph"
+        assert graphsage_pool_layer(4, 2).producer == "dense"
+
+    def test_gcn_layer_structure(self):
+        layer = gcn_layer(8, 3)
+        agg, ext = layer.stages
+        assert agg.normalization == "sym" and agg.include_self
+        assert ext.weight_shape == (8, 3)
+
+    def test_graphsage_concat(self):
+        layer = graphsage_layer(8, 3)
+        ext = layer.stages[1]
+        assert ext.concat_self and ext.weight_in_dim == 16
+
+    def test_pool_three_stages(self):
+        layer = graphsage_pool_layer(8, 3)
+        assert len(layer.stages) == 3
+        assert layer.stages[1].reduce == "max"
+        # Final linear combines pooled (3) with raw input (8).
+        assert layer.stages[2].weight_in_dim == 11
+
+
+class TestZoo:
+    @pytest.mark.parametrize("name", ["gcn", "graphsage", "graphsage-pool"])
+    def test_build_network_dims(self, name):
+        model = build_network(name, 32, 5, hidden_dim=16)
+        assert model.num_layers == 2
+        assert model.in_dim == 32 and model.out_dim == 5
+
+    def test_hidden_layers_stackable(self):
+        model = build_network("gcn", 32, 5, num_hidden_layers=3)
+        assert model.num_layers == 4
+
+    def test_output_layer_has_no_activation(self):
+        model = build_network("gcn", 32, 5)
+        assert model.layers[-1].extract_stages[-1].activation == "none"
+
+    def test_unknown_network(self):
+        with pytest.raises(ModelError, match="gcn"):
+            layer_factory("transformer")
+
+    def test_bad_dims(self):
+        with pytest.raises(ModelError):
+            build_network("gcn", 0, 5)
+        with pytest.raises(ModelError):
+            build_network("gcn", 4, 5, num_hidden_layers=-1)
+
+    def test_network_table(self):
+        rows = network_table()
+        assert [r["Network"] for r in rows] == [
+            "GCN", "Graphsage", "GraphsagePool"]
+
+
+class TestLayerPrimitives:
+    def test_activations(self):
+        x = np.array([-2.0, 0.0, 3.0], dtype=np.float32)
+        assert relu(x).tolist() == [0.0, 0.0, 3.0]
+        assert sigmoid(np.zeros(1))[0] == pytest.approx(0.5)
+        assert apply_activation("none", x) is x
+
+    def test_sigmoid_stable_at_extremes(self):
+        x = np.array([-500.0, 500.0], dtype=np.float32)
+        out = sigmoid(x)
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(0.0, abs=1e-6)
+        assert out[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ModelError):
+            apply_activation("swish", np.zeros(1))
+
+    def test_glorot_bounds_and_determinism(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert (np.abs(w) <= limit).all()
+        w2 = glorot_uniform((100, 50), np.random.default_rng(0))
+        assert np.array_equal(w, w2)
+
+    def test_parameters_storage(self):
+        params = Parameters()
+        params.set((0, 1), np.ones((2, 3)), np.zeros(3))
+        assert params.weight(0, 1).shape == (2, 3)
+        assert params.bias(0, 1).shape == (3,)
+        assert params.bias(9, 9) is None
+        assert params.total_bytes == 2 * 3 * 4 + 3 * 4
+        with pytest.raises(ModelError):
+            params.weight(1, 1)
+
+    def test_init_parameters_covers_extracts(self):
+        model = build_network("graphsage-pool", 8, 3)
+        params = init_parameters(model, seed=0)
+        # Pool network: 2 extract stages per layer x 2 layers.
+        assert len(params.keys()) == 4
+
+    def test_dense_forward_shape_check(self):
+        stage = ExtractStage(in_dim=4, out_dim=2)
+        with pytest.raises(ModelError):
+            dense_forward(stage, np.ones((3, 5)), np.ones((4, 2)), None)
+
+    def test_dense_forward_math(self):
+        stage = ExtractStage(in_dim=2, out_dim=2, activation="relu",
+                             bias=True)
+        x = np.array([[1.0, -1.0]], dtype=np.float32)
+        w = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32)
+        b = np.array([0.5, 0.0], dtype=np.float32)
+        out = dense_forward(stage, x, w, b)
+        assert out.tolist() == [[1.5, 0.0]]

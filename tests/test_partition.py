@@ -1,0 +1,129 @@
+"""Unit tests for 2-D grid sharding."""
+
+import numpy as np
+import pytest
+
+from repro.config.accelerator import EDGE_BYTES, GraphEngineConfig
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph, GraphError
+from repro.graph.partition import (
+    NodeInterval,
+    ShardGrid,
+    plan_interval_size,
+    plan_shards,
+)
+
+
+class TestNodeInterval:
+    def test_size_and_contains(self):
+        interval = NodeInterval(index=0, start=10, stop=20)
+        assert interval.size == 10
+        assert interval.contains(np.array([10, 19])).all()
+        assert not interval.contains(np.array([9, 20])).any()
+
+    def test_rejects_inverted(self):
+        with pytest.raises(GraphError):
+            NodeInterval(index=0, start=5, stop=2)
+
+
+class TestShardGrid:
+    def test_every_edge_in_exactly_one_shard(self, small_graph):
+        grid = ShardGrid(small_graph, interval_size=16)
+        grid.validate()
+        recovered = set()
+        for shard in grid.nonempty_shards():
+            for u, v in zip(shard.src.tolist(), shard.dst.tolist()):
+                recovered.add((u, v))
+        original = set(zip(small_graph.src.tolist(),
+                           small_graph.dst.tolist()))
+        assert recovered == original
+
+    def test_grid_side(self, small_graph):
+        grid = ShardGrid(small_graph, interval_size=16)
+        assert grid.grid_side == 4  # ceil(60 / 16)
+        assert grid.num_edges == small_graph.num_edges
+
+    def test_shard_bounds(self, small_graph):
+        grid = ShardGrid(small_graph, interval_size=16)
+        for shard in grid.nonempty_shards():
+            assert shard.src_interval.contains(shard.src).all()
+            assert shard.dst_interval.contains(shard.dst).all()
+
+    def test_local_ids(self):
+        g = Graph(6, [0, 3, 5], [3, 4, 1])
+        grid = ShardGrid(g, interval_size=3)
+        shard = grid.shard(1, 1)  # edge (3, 4)
+        assert shard.local_src.tolist() == [0]
+        assert shard.local_dst.tolist() == [1]
+
+    def test_edges_sorted_by_dst_within_shard(self, medium_graph):
+        grid = ShardGrid(medium_graph, interval_size=100)
+        for shard in grid.nonempty_shards():
+            assert (np.diff(shard.dst) >= 0).all()
+
+    def test_edge_ids_alignment(self, small_graph):
+        grid = ShardGrid(small_graph, interval_size=16)
+        for shard in grid.nonempty_shards():
+            assert np.array_equal(small_graph.src[shard.edge_ids],
+                                  shard.src)
+            assert np.array_equal(small_graph.dst[shard.edge_ids],
+                                  shard.dst)
+
+    def test_empty_cell_returns_empty_shard(self):
+        g = Graph(4, [0], [1])
+        grid = ShardGrid(g, interval_size=2)
+        assert grid.shard(1, 0).num_edges == 0
+
+    def test_out_of_range_shard(self):
+        g = Graph(4, [0], [1])
+        grid = ShardGrid(g, interval_size=2)
+        with pytest.raises(GraphError):
+            grid.shard(5, 0)
+
+    def test_rejects_bad_interval(self, small_graph):
+        with pytest.raises(GraphError):
+            ShardGrid(small_graph, interval_size=0)
+
+    def test_single_shard_when_interval_covers(self, small_graph):
+        grid = ShardGrid(small_graph, interval_size=1000)
+        assert grid.grid_side == 1
+        assert grid.shard(0, 0).num_edges == small_graph.num_edges
+
+
+class TestPlanning:
+    def test_interval_size_formula(self):
+        config = GraphEngineConfig()
+        block = 64
+        per_node = block * 4
+        expected = min(config.usable_src_bytes // per_node,
+                       config.usable_dst_bytes // per_node)
+        assert plan_interval_size(config, block) == expected
+
+    def test_smaller_block_bigger_interval(self):
+        """The dimension-blocking lever: halving B doubles capacity."""
+        config = GraphEngineConfig()
+        assert (plan_interval_size(config, 32)
+                == 2 * plan_interval_size(config, 64))
+
+    def test_rejects_block_too_large(self):
+        config = GraphEngineConfig(src_feature_buffer_bytes=64,
+                                   dst_feature_buffer_bytes=64,
+                                   edge_buffer_bytes=64)
+        with pytest.raises(GraphError):
+            plan_interval_size(config, 1024)
+
+    def test_plan_shards_respects_edge_buffer(self):
+        graph = erdos_renyi(64, 600, feature_dim=8, seed=3)
+        config = GraphEngineConfig(
+            num_gpes=2, simd_width=2,
+            src_feature_buffer_bytes=64 * 8 * 2,  # whole graph fits
+            dst_feature_buffer_bytes=64 * 8 * 2,
+            edge_buffer_bytes=100 * EDGE_BYTES * 2)  # 100 edges max
+        grid = plan_shards(graph, config, block=8)
+        assert grid.max_shard_edges <= 100
+        grid.validate()
+
+    def test_plan_shards_single_when_everything_fits(
+            self, small_graph, default_config):
+        grid = plan_shards(small_graph, default_config.graph, block=8)
+        assert grid.grid_side == 1

@@ -1,0 +1,97 @@
+"""Unit tests for shard-grid traversal orders and the residency replay.
+
+The key identities (the empirical half of Table I):
+
+* dst-stationary: src loads = S^2 - S + 1, partial reloads = 0,
+  writebacks = S;
+* src-stationary: src loads = S, partial reloads = (S - 1)^2,
+  writebacks = S^2 - S + 1.
+"""
+
+import pytest
+
+from repro.config.workload import DST_STATIONARY, SRC_STATIONARY
+from repro.graph.graph import GraphError
+from repro.graph.traversal import (
+    dst_stationary_order,
+    serpentine,
+    simulate_residency,
+    src_stationary_order,
+    traversal_order,
+)
+
+
+class TestOrders:
+    @pytest.mark.parametrize("side", [1, 2, 3, 5])
+    def test_each_cell_visited_once(self, side):
+        for order_fn in (src_stationary_order, dst_stationary_order):
+            cells = order_fn(side)
+            assert len(cells) == side * side
+            assert len(set(cells)) == side * side
+
+    def test_src_stationary_rows_contiguous(self):
+        order = src_stationary_order(3)
+        rows = [row for row, _ in order]
+        assert rows == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_dst_stationary_cols_contiguous(self):
+        order = dst_stationary_order(3)
+        cols = [col for _, col in order]
+        assert cols == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_serpentine_reverses_alternate_rows(self):
+        cells = list(serpentine(2, 3))
+        assert cells == [(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)]
+
+    def test_s_pattern_boundary_reuse(self):
+        """Consecutive shards at a row boundary share the minor index."""
+        order = src_stationary_order(4)
+        for i in range(len(order) - 1):
+            row_a, col_a = order[i]
+            row_b, col_b = order[i + 1]
+            if row_a != row_b:
+                assert col_a == col_b  # the serpentine saving
+
+    def test_dispatch(self):
+        assert traversal_order(SRC_STATIONARY, 2) == src_stationary_order(2)
+        assert traversal_order(DST_STATIONARY, 2) == dst_stationary_order(2)
+        with pytest.raises(GraphError):
+            traversal_order("sideways", 2)
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(GraphError):
+            src_stationary_order(0)
+        with pytest.raises(GraphError):
+            dst_stationary_order(-1)
+
+
+class TestResidencyReplay:
+    @pytest.mark.parametrize("side", [1, 2, 3, 4, 6, 8])
+    def test_dst_stationary_matches_table1(self, side):
+        counts = simulate_residency(dst_stationary_order(side), side)
+        assert counts.src_loads == side * side - side + 1
+        assert counts.dst_loads == 0
+        assert counts.dst_stores == side
+
+    @pytest.mark.parametrize("side", [1, 2, 3, 4, 6, 8])
+    def test_src_stationary_matches_table1(self, side):
+        counts = simulate_residency(src_stationary_order(side), side)
+        assert counts.src_loads == side
+        assert counts.dst_loads == (side - 1) ** 2
+        assert counts.dst_stores == side * side - side + 1
+
+    def test_totals(self):
+        counts = simulate_residency(dst_stationary_order(3), 3)
+        assert counts.total_reads == counts.src_loads + counts.dst_loads
+        assert counts.total_writes == counts.dst_stores
+
+    def test_rejects_out_of_grid(self):
+        with pytest.raises(GraphError):
+            simulate_residency([(5, 0)], 2)
+
+    def test_every_column_written_back(self):
+        """Writebacks must cover all columns regardless of order."""
+        for side in (2, 4, 7):
+            for order_fn in (src_stationary_order, dst_stationary_order):
+                counts = simulate_residency(order_fn(side), side)
+                assert counts.dst_stores >= side
