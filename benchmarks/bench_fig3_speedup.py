@@ -16,8 +16,8 @@ from repro.graph.datasets import dataset_table
 from repro.models.zoo import network_table
 
 
-def test_fig3_speedups(benchmark, harness):
-    result = benchmark.pedantic(fig3_speedups, args=(harness,),
+def test_fig3_speedups(benchmark, runner):
+    result = benchmark.pedantic(fig3_speedups, kwargs={"runner": runner},
                                 rounds=1, iterations=1)
 
     print()

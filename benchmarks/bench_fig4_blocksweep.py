@@ -10,8 +10,9 @@ from repro.eval.experiments import fig4_block_sweep
 from repro.eval.report import render_fig4
 
 
-def test_fig4_block_sweep(benchmark, harness):
-    points = benchmark.pedantic(fig4_block_sweep, args=(harness,),
+def test_fig4_block_sweep(benchmark, runner):
+    points = benchmark.pedantic(fig4_block_sweep,
+                                kwargs={"runner": runner},
                                 rounds=1, iterations=1)
 
     print()

@@ -10,8 +10,8 @@ from repro.eval.experiments import fig5_scaling
 from repro.eval.report import render_fig5
 
 
-def test_fig5_scaling(benchmark, harness):
-    rows = benchmark.pedantic(fig5_scaling, args=(harness,),
+def test_fig5_scaling(benchmark, runner):
+    rows = benchmark.pedantic(fig5_scaling, kwargs={"runner": runner},
                               rounds=1, iterations=1)
 
     print()

@@ -13,10 +13,11 @@ from repro.eval.report import render_table1
 
 
 @pytest.mark.parametrize("dataset", ["cora", "citeseer", "pubmed"])
-def test_table1_dataflow_costs(benchmark, dataset):
+def test_table1_dataflow_costs(benchmark, dataset, runner):
     rows = benchmark.pedantic(table1_dataflow_costs,
                               kwargs={"dataset": dataset,
-                                      "feature_block": None},
+                                      "feature_block": None,
+                                      "runner": runner},
                               rounds=1, iterations=1)
 
     print()

@@ -9,8 +9,8 @@ from repro.eval.experiments import table5_hygcn
 from repro.eval.report import render_table5
 
 
-def test_table5_hygcn(benchmark, harness):
-    rows = benchmark.pedantic(table5_hygcn, args=(harness,),
+def test_table5_hygcn(benchmark, runner):
+    rows = benchmark.pedantic(table5_hygcn, kwargs={"runner": runner},
                               rounds=1, iterations=1)
 
     print()

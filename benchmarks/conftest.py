@@ -8,9 +8,18 @@ pytest-benchmark reports the wall-clock of regenerating each artefact).
 import pytest
 
 from repro.eval.harness import Harness
+from repro.sweep import SweepRunner
 
 
 @pytest.fixture(scope="session")
 def harness():
     """One shared harness so datasets/params are materialised once."""
     return Harness()
+
+
+@pytest.fixture(scope="session")
+def runner(harness):
+    """One shared sweep runner (serial, uncached) so benchmark numbers
+    measure the engine itself, not cache luck; it reuses the session
+    harness's materialised datasets and parameters."""
+    return SweepRunner(harness=harness)

@@ -9,6 +9,7 @@ Usage::
     gnnerator table5          # GNNerator vs HyGCN
     gnnerator configs         # Tables II, III, IV
     gnnerator run cora gcn    # one workload with full statistics
+    gnnerator sweep fig3 --jobs 4   # parallel, cached sweep engine
 
 (or ``python -m repro ...``)
 """
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.accelerator import GNNerator
 from repro.config.platforms import gnnerator_config, platform_table
@@ -34,11 +36,19 @@ from repro.eval.report import (
     render_fig3,
     render_fig4,
     render_fig5,
+    render_sweep,
     render_table1,
     render_table5,
 )
 from repro.graph.datasets import dataset_table
 from repro.models.zoo import network_table
+from repro.sweep import (
+    PLAN_NAMES,
+    NullCache,
+    ResultCache,
+    SweepRunner,
+    build_plan,
+)
 
 
 def _cmd_fig3(_: argparse.Namespace) -> str:
@@ -93,6 +103,35 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    plan = build_plan(args.plan, seed=args.seed)
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    result = runner.run(plan)
+    # Surface point failures through the exit code so scripts and CI
+    # can gate on the sweep without parsing the output.
+    args.exit_code = 0 if result.ok else 1
+    if args.format == "json":
+        text = result.to_json()
+    elif args.format == "csv":
+        text = result.to_csv().rstrip("\n")
+    else:
+        text = render_sweep(result)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        text = f"{result.summary()} -> {args.output}"
+    return text
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return jobs
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.sim.trace import Tracer, render_gantt
 
@@ -144,6 +183,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="feature block size B (default 64)")
     run.add_argument("--hidden-dim", type=int, default=16)
     run.set_defaults(handler=_cmd_run)
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel sweep engine")
+    sweep.add_argument("plan", choices=PLAN_NAMES,
+                       help="which evaluation grid to run")
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes (default 1 = in-process)")
+    sweep.add_argument("--cache-dir", default=".sweep-cache",
+                       help="persistent result cache directory "
+                            "(default .sweep-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute every point; touch no cache files")
+    sweep.add_argument("--format", choices=("table", "json", "csv"),
+                       default="table", help="output format")
+    sweep.add_argument("--output", "-o",
+                       help="write output to this file instead of stdout")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="parameter-initialisation seed (default 0)")
+    sweep.set_defaults(handler=_cmd_sweep)
     trace = sub.add_parser("trace",
                            help="render a pipeline Gantt chart")
     trace.add_argument("dataset", choices=("cora", "citeseer", "pubmed"))
@@ -166,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     print(args.handler(args))
-    return 0
+    return getattr(args, "exit_code", 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

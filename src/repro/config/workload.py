@@ -80,6 +80,17 @@ def fig3_workloads(feature_block: int | None = 64) -> list[WorkloadSpec]:
     ]
 
 
+def fig4_workloads() -> list[WorkloadSpec]:
+    """The Fig 4 sweep suite: the Fig 3 nine plus wider-hidden variants
+    ("a large number of various networks and datasets", Sec VI-A)."""
+    specs = fig3_workloads()
+    for dataset in FIG3_DATASETS:
+        for network in ("gcn", "graphsage"):
+            specs.append(WorkloadSpec(dataset=dataset, network=network,
+                                      hidden_dim=128))
+    return specs
+
+
 def fig5_workloads(hidden_dims: tuple[int, ...] = (16, 128, 1024),
                    network: str = "gcn") -> list[WorkloadSpec]:
     """The Fig 5 scaling-study points: datasets x hidden dimensions."""
@@ -88,3 +99,10 @@ def fig5_workloads(hidden_dims: tuple[int, ...] = (16, 128, 1024),
         for hidden in hidden_dims
         for dataset in FIG3_DATASETS
     ]
+
+
+#: Paper Fig 4 block sizes swept (B = 64 is the baseline).
+FIG4_BLOCKS = (32, 64, 128, 256, 1024, 2048, 4096)
+
+#: Paper Fig 5 hidden dimensions swept.
+FIG5_HIDDEN_DIMS = (16, 128, 1024)

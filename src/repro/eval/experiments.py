@@ -4,28 +4,52 @@ Each function regenerates the rows/series of one paper artefact and
 returns plain dataclasses the benchmarks print and EXPERIMENTS.md
 records. Paper reference values are included alongside so reports can
 show paper-vs-measured at a glance.
+
+All grids route through the sweep engine (:mod:`repro.sweep`): pass a
+:class:`~repro.sweep.runner.SweepRunner` to shard points across worker
+processes and/or reuse a persistent result cache; by default points run
+serially in-process with no on-disk cache, which is byte-identical to
+the historical serial harness path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.compiler.ir import AccumWritebackOp, DmaOp
-from repro.compiler.lowering import compile_workload
-from repro.config.platforms import (
-    gnnerator_config,
-    next_generation_variants,
-)
+from repro.config.platforms import gnnerator_config
 from repro.config.workload import (
     DST_STATIONARY,
+    FIG3_DATASETS,
+    FIG4_BLOCKS,
+    FIG5_HIDDEN_DIMS,
     SRC_STATIONARY,
     WorkloadSpec,
     fig3_workloads,
+    fig4_workloads,
 )
 from repro.dataflow.costs import traversal_cost
 from repro.eval.harness import Harness, geometric_mean
+from repro.graph.datasets import load_dataset
 from repro.graph.partition import plan_shards
 from repro.graph.traversal import simulate_residency, traversal_order
+from repro.sweep.plan import (
+    METRIC_TRAFFIC,
+    VARIANT_NAMES,
+    fig3_plan,
+    fig4_plan,
+    fig5_plan,
+    point_for,
+    table1_plan,
+    table5_plan,
+)
+from repro.sweep.runner import SweepRunner
+
+__all__ = [
+    "FIG3_PAPER", "TABLE5_PAPER", "FIG4_BLOCKS", "FIG5_HIDDEN_DIMS",
+    "Fig3Row", "Fig3Result", "fig3_speedups", "fig4_workloads",
+    "Fig4Point", "fig4_block_sweep", "Fig5Row", "fig5_scaling",
+    "Table1Row", "table1_dataflow_costs", "Table5Row", "table5_hygcn",
+]
 
 #: Paper Fig 3 speedups over the 2080 Ti (with / without blocking).
 FIG3_PAPER = {
@@ -48,11 +72,23 @@ TABLE5_PAPER = {
     "pubmed": (2.3, 1.0),
 }
 
-#: Paper Fig 4 block sizes swept (B = 64 is the baseline).
-FIG4_BLOCKS = (32, 64, 128, 256, 1024, 2048, 4096)
 
-#: Paper Fig 5 hidden dimensions swept.
-FIG5_HIDDEN_DIMS = (16, 128, 1024)
+def _runner(runner: SweepRunner | None,
+            harness: Harness | None) -> SweepRunner:
+    """Default to serial in-process execution with no on-disk cache
+    (sharing ``harness``'s materialised datasets/params when given)."""
+    if runner is not None:
+        return runner
+    return SweepRunner(harness=harness)
+
+
+def _seed(runner: SweepRunner | None, harness: Harness | None) -> int:
+    """The seed every plan point must carry: a caller-supplied harness
+    keeps its own seed (the historical serial behaviour); an explicit
+    runner computes with the default seed 0."""
+    if runner is None and harness is not None:
+        return harness.seed
+    return 0
 
 
 # ---------------------------------------------------------------------
@@ -76,21 +112,26 @@ class Fig3Result:
         return self.rows[-1]
 
 
-def fig3_speedups(harness: Harness | None = None) -> Fig3Result:
+def fig3_speedups(harness: Harness | None = None,
+                  runner: SweepRunner | None = None) -> Fig3Result:
     """Regenerate Fig 3: nine workloads plus the Gmean bar."""
-    harness = harness or Harness()
+    seed = _seed(runner, harness)
+    sweep = _runner(runner, harness).run(fig3_plan().with_seed(seed))
     result = Fig3Result()
     blocked, unblocked = [], []
     for spec in fig3_workloads():
-        lat = harness.all_platforms(spec)
+        gpu = sweep.seconds_for(point_for(spec, "gpu", seed=seed))
+        gnn = sweep.seconds_for(point_for(spec, "gnnerator", seed=seed))
+        gnn_unblocked = sweep.seconds_for(
+            point_for(spec.with_block(None), "gnnerator", seed=seed))
         paper = FIG3_PAPER.get(spec.label, (None, None))
         result.rows.append(Fig3Row(
             label=spec.label,
-            speedup_blocked=lat.speedup_blocked,
-            speedup_no_blocking=lat.speedup_no_blocking,
+            speedup_blocked=gpu / gnn,
+            speedup_no_blocking=gpu / gnn_unblocked,
             paper_blocked=paper[0], paper_no_blocking=paper[1]))
-        blocked.append(lat.speedup_blocked)
-        unblocked.append(lat.speedup_no_blocking)
+        blocked.append(gpu / gnn)
+        unblocked.append(gpu / gnn_unblocked)
     result.rows.append(Fig3Row(
         label="Gmean",
         speedup_blocked=geometric_mean(blocked),
@@ -109,34 +150,27 @@ class Fig4Point:
     slowdown: float  # geomean slowdown relative to B = 64
 
 
-def fig4_workloads() -> list[WorkloadSpec]:
-    """The Fig 4 sweep suite: the Fig 3 nine plus wider-hidden variants
-    ("a large number of various networks and datasets", Sec VI-A)."""
-    specs = fig3_workloads()
-    for dataset in ("cora", "citeseer", "pubmed"):
-        for network in ("gcn", "graphsage"):
-            specs.append(WorkloadSpec(dataset=dataset, network=network,
-                                      hidden_dim=128))
-    return specs
-
-
 def fig4_block_sweep(harness: Harness | None = None,
-                     blocks: tuple[int, ...] = FIG4_BLOCKS
+                     blocks: tuple[int, ...] = FIG4_BLOCKS,
+                     runner: SweepRunner | None = None
                      ) -> list[Fig4Point]:
     """Regenerate Fig 4: slowdown vs the B = 64 baseline across the
     benchmark suite (blocks larger than a dataset's feature dimension
     degrade to the conventional dataflow for that dataset, as in the
     paper's sweep)."""
-    harness = harness or Harness()
+    seed = _seed(runner, harness)
+    sweep = _runner(runner, harness).run(fig4_plan(blocks).with_seed(seed))
     specs = fig4_workloads()
-    baseline = {spec.with_block(64): harness.gnnerator_seconds(
-        spec.with_block(64)) for spec in specs}
+    baseline = {spec: sweep.seconds_for(point_for(spec.with_block(64),
+                                                  seed=seed))
+                for spec in specs}
     points = []
     for block in blocks:
         ratios = []
         for spec in specs:
-            seconds = harness.gnnerator_seconds(spec.with_block(block))
-            ratios.append(seconds / baseline[spec.with_block(64)])
+            seconds = sweep.seconds_for(point_for(spec.with_block(block),
+                                                  seed=seed))
+            ratios.append(seconds / baseline[spec])
         points.append(Fig4Point(block=block,
                                 slowdown=geometric_mean(ratios)))
     return points
@@ -153,7 +187,8 @@ class Fig5Row:
 
 def fig5_scaling(harness: Harness | None = None,
                  hidden_dims: tuple[int, ...] = FIG5_HIDDEN_DIMS,
-                 network: str = "gcn") -> list[Fig5Row]:
+                 network: str = "gcn",
+                 runner: SweepRunner | None = None) -> list[Fig5Row]:
     """Regenerate Fig 5: three scaled-up designs over the baseline, for
     GCN with swept hidden dimension on the three datasets, plus Gmean.
 
@@ -162,24 +197,25 @@ def fig5_scaling(harness: Harness | None = None,
     feeds the bigger array but also shrinks shard intervals, and on
     graphs where that splits the grid (Pubmed) B = 64 stays better.
     """
-    import dataclasses
-
-    harness = harness or Harness()
-    variants = next_generation_variants()
+    seed = _seed(runner, harness)
+    sweep = _runner(runner, harness).run(
+        fig5_plan(hidden_dims, network).with_seed(seed))
     rows: list[Fig5Row] = []
-    per_variant: dict[str, list[float]] = {name: [] for name in variants}
+    per_variant: dict[str, list[float]] = {name: [] for name in
+                                           VARIANT_NAMES}
     for hidden in hidden_dims:
-        for dataset in ("cora", "citeseer", "pubmed"):
+        for dataset in FIG3_DATASETS:
             spec = WorkloadSpec(dataset=dataset, network=network,
                                 hidden_dim=hidden)
-            base_seconds = harness.gnnerator_seconds(spec)
+            base_seconds = sweep.seconds_for(point_for(spec, seed=seed))
             row = Fig5Row(label=f"{dataset.capitalize()}-{hidden}")
-            for name, config in variants.items():
-                candidates = [config]
+            for name in VARIANT_NAMES:
+                candidates = [point_for(spec, variant=name, seed=seed)]
                 if name == "more-dense-compute":
-                    candidates.append(dataclasses.replace(
-                        config, feature_block=64))
-                seconds = min(harness.gnnerator_seconds(spec, candidate)
+                    candidates.append(point_for(spec, variant=name,
+                                                variant_block=64,
+                                                seed=seed))
+                seconds = min(sweep.seconds_for(candidate)
                               for candidate in candidates)
                 row.speedups[name] = base_seconds / seconds
                 per_variant[name].append(row.speedups[name])
@@ -212,14 +248,13 @@ class Table1Row:
 
 
 def table1_dataflow_costs(dataset: str = "pubmed",
-                          feature_block: int | None = None
+                          feature_block: int | None = None,
+                          runner: SweepRunner | None = None
                           ) -> list[Table1Row]:
     """Validate Table I three ways: the closed-form cost model, the
     residency replay, and the compiled program's actual DMA bytes."""
-    harness = Harness()
-    graph = harness.graph(dataset)
-    spec = WorkloadSpec(dataset=dataset, network="gcn",
-                        feature_block=feature_block)
+    sweep = _runner(runner, None).run(table1_plan(dataset, feature_block))
+    graph = load_dataset(dataset)
     config = gnnerator_config(feature_block=feature_block)
     grid = plan_shards(graph, config.graph,
                        block=(feature_block
@@ -229,26 +264,19 @@ def table1_dataflow_costs(dataset: str = "pubmed",
     for order in (SRC_STATIONARY, DST_STATIONARY):
         analytic = traversal_cost(order, side, 1)
         replay = simulate_residency(traversal_order(order, side), side)
-        program = compile_workload(
-            graph, harness.model(spec), config,
-            params=harness.params(spec), traversal=order,
-            feature_block=feature_block)
-        src_bytes = sum(
-            op.num_bytes for op in program.order
-            if isinstance(op, DmaOp) and op.purpose == "src-features")
-        partial_bytes = sum(
-            op.num_bytes for op in program.order
-            if isinstance(op, (DmaOp, AccumWritebackOp))
-            and (getattr(op, "purpose", "") == "dst-partials"
-                 or (isinstance(op, AccumWritebackOp) and op.partial)))
+        spec = WorkloadSpec(dataset=dataset, network="gcn",
+                            feature_block=feature_block, traversal=order)
+        purposes = sweep.metrics_for(
+            point_for(spec, metric=METRIC_TRAFFIC))["dram_bytes_by_purpose"]
         rows.append(Table1Row(
             order=order, grid_side=side,
             analytic_reads=analytic.read_rows,
             analytic_writes=analytic.write_rows,
             simulated_reads=replay.src_loads + replay.dst_loads,
             simulated_writes=replay.dst_stores,
-            compiled_src_bytes=src_bytes,
-            compiled_partial_bytes=partial_bytes))
+            compiled_src_bytes=purposes.get("src-features", 0),
+            compiled_partial_bytes=(purposes.get("dst-partials", 0)
+                                    + purposes.get("agg-partial", 0))))
     return rows
 
 
@@ -264,17 +292,22 @@ class Table5Row:
     paper_no_blocking: float
 
 
-def table5_hygcn(harness: Harness | None = None) -> list[Table5Row]:
+def table5_hygcn(harness: Harness | None = None,
+                 runner: SweepRunner | None = None) -> list[Table5Row]:
     """Regenerate Table V: speedup of GNNerator over HyGCN for GCN."""
-    harness = harness or Harness()
+    seed = _seed(runner, harness)
+    sweep = _runner(runner, harness).run(table5_plan().with_seed(seed))
     rows = []
-    for dataset in ("cora", "citeseer", "pubmed"):
+    for dataset in FIG3_DATASETS:
         spec = WorkloadSpec(dataset=dataset, network="gcn")
-        lat = harness.all_platforms(spec)
+        hygcn = sweep.seconds_for(point_for(spec, "hygcn", seed=seed))
+        gnn = sweep.seconds_for(point_for(spec, "gnnerator", seed=seed))
+        gnn_unblocked = sweep.seconds_for(
+            point_for(spec.with_block(None), "gnnerator", seed=seed))
         paper = TABLE5_PAPER[dataset]
         rows.append(Table5Row(
             dataset=dataset,
-            speedup_blocked=lat.speedup_over_hygcn,
-            speedup_no_blocking=lat.no_blocking_speedup_over_hygcn,
+            speedup_blocked=hygcn / gnn,
+            speedup_no_blocking=hygcn / gnn_unblocked,
             paper_blocked=paper[0], paper_no_blocking=paper[1]))
     return rows

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.accelerator import ExecutionResult, GNNerator
 from repro.baselines.gpu import GpuModel
@@ -22,11 +21,13 @@ from repro.config.platforms import (
     rtx_2080_ti_config,
 )
 from repro.config.workload import WorkloadSpec
-from repro.graph.datasets import dataset_stats, load_dataset
+from repro.compiler.program import Program
+from repro.graph.datasets import dataset_stats
 from repro.graph.graph import Graph
 from repro.models.layers import Parameters, init_parameters
 from repro.models.stages import GNNModel
 from repro.models.zoo import build_network
+from repro.sweep.cache import DatasetCache
 
 
 def geometric_mean(values: list[float]) -> float:
@@ -71,12 +72,13 @@ class Harness:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._params: dict[tuple, Parameters] = {}
+        self._datasets = DatasetCache()
 
     # -- workload materialisation --------------------------------------
-    @staticmethod
-    @lru_cache(maxsize=None)
-    def graph(dataset: str) -> Graph:
-        return load_dataset(dataset)
+    def graph(self, dataset: str) -> Graph:
+        """The (cached) benchmark graph; caching is per harness, so
+        instances never share mutable cache state."""
+        return self._datasets.get(dataset)
 
     def model(self, spec: WorkloadSpec) -> GNNModel:
         stats = dataset_stats(spec.dataset)
@@ -91,10 +93,10 @@ class Harness:
         return self._params[key]
 
     # -- per-platform latencies ----------------------------------------
-    def gnnerator_result(self, spec: WorkloadSpec,
-                         config: GNNeratorConfig | None = None
-                         ) -> ExecutionResult:
-        """Run ``spec`` on GNNerator.
+    def _resolve_config(self, spec: WorkloadSpec,
+                        config: GNNeratorConfig | None
+                        ) -> tuple[GNNeratorConfig, int | None | str]:
+        """Pick the platform config and effective feature block.
 
         Without an explicit ``config``, the platform is the Table IV
         baseline with the spec's feature block. With one (Fig 5
@@ -102,10 +104,28 @@ class Harness:
         ties B to the Dense Engine width.
         """
         if config is None:
-            config = gnnerator_config(feature_block=spec.feature_block)
-            feature_block: int | None | str = spec.feature_block
-        else:
-            feature_block = "config"
+            return (gnnerator_config(feature_block=spec.feature_block),
+                    spec.feature_block)
+        return config, "config"
+
+    def gnnerator_program(self, spec: WorkloadSpec,
+                          config: GNNeratorConfig | None = None
+                          ) -> Program:
+        """Compile ``spec`` without simulating (Table I's traffic
+        accounting needs only the program's DMA bytes)."""
+        config, feature_block = self._resolve_config(spec, config)
+        accelerator = GNNerator(config)
+        return accelerator.compile(self.graph(spec.dataset),
+                                   self.model(spec),
+                                   params=self.params(spec),
+                                   traversal=spec.traversal,
+                                   feature_block=feature_block)
+
+    def gnnerator_result(self, spec: WorkloadSpec,
+                         config: GNNeratorConfig | None = None
+                         ) -> ExecutionResult:
+        """Run ``spec`` on GNNerator (see :meth:`_resolve_config`)."""
+        config, feature_block = self._resolve_config(spec, config)
         accelerator = GNNerator(config)
         return accelerator.run(self.graph(spec.dataset), self.model(spec),
                                params=self.params(spec),

@@ -84,6 +84,29 @@ def render_table1(rows: list[Table1Row]) -> str:
         table, title="Table I — shard dataflow costs (interval units)")
 
 
+def render_sweep(result) -> str:
+    """Render a :class:`~repro.sweep.runner.SweepResult` as a table
+    plus its one-line run summary."""
+    rows = []
+    for point_result in result.results:
+        point = point_result.point
+        metrics = point_result.metrics
+        seconds = metrics.get("seconds")
+        cycles = metrics.get("cycles")
+        rows.append({
+            "point": point.label,
+            "status": point_result.status,
+            "cached": "yes" if point_result.cached else "no",
+            "latency": (f"{seconds * 1e6:.1f} us"
+                        if seconds is not None else "-"),
+            "cycles": str(cycles) if cycles is not None else "-",
+            "DRAM MB": (f"{metrics['total_dram_bytes'] / 1e6:.1f}"
+                        if "total_dram_bytes" in metrics else "-"),
+        })
+    table = format_table(rows, title=f"Sweep — {result.plan}")
+    return f"{table}\n\n{result.summary()}"
+
+
 def render_table5(rows: list[Table5Row]) -> str:
     table = [{
         "dataset": row.dataset,

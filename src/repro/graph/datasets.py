@@ -76,8 +76,13 @@ def dataset_stats(name: str) -> DatasetStats:
             f"unknown dataset {name!r}; known datasets: {known}") from None
 
 
+@functools.lru_cache(maxsize=None)
 def _load_planetoid(stats: DatasetStats, data_dir: str) -> Graph:
-    """Parse real Planetoid ``.content`` / ``.cites`` files if present."""
+    """Parse real Planetoid ``.content`` / ``.cites`` files if present.
+
+    Cached per (dataset, directory) like the synthetic path, so new
+    Harness instances — and forked sweep workers pre-warmed by the
+    parent — never re-parse the files."""
     content = os.path.join(data_dir, f"{stats.name}.content")
     cites = os.path.join(data_dir, f"{stats.name}.cites")
     ids: list[str] = []

@@ -1,0 +1,194 @@
+"""Content-addressed persistent result cache for sweep points.
+
+Each computed point is stored as one JSON file whose name is the
+SHA-256 of (schema version, code version, canonical point payload), so
+
+* re-running a sweep with unchanged code and config is pure cache hits,
+* *any* source edit under ``repro/`` invalidates every entry at once
+  (conservative, but never stale), and
+* two processes racing on the same point write the same bytes to the
+  same key — last writer wins, atomically, via ``os.replace``.
+
+Layout under the cache root (default ``.sweep-cache/``)::
+
+    <root>/<first two key hex chars>/<full key>.json
+
+Clearing the cache is just deleting the directory (or
+:meth:`ResultCache.clear`).
+
+The module also hosts :class:`DatasetCache`, the in-memory per-owner
+graph cache that replaced the ``@staticmethod @lru_cache`` combo on
+``Harness.graph`` — that pattern cached at module scope, so graphs
+leaked across Harness instances and could never be dropped or swapped
+per instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+
+#: Bump when the cached record layout changes; old entries become misses.
+SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_version_hash() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Used as the code-version component of cache keys: any edit to the
+    simulator, compiler, or models invalidates all cached results.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def cache_key(payload: dict, code_version: str) -> str:
+    """Content address of one point under one code version."""
+    blob = json.dumps(
+        {"schema": SCHEMA_VERSION, "code": code_version, "point": payload},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of computed point records, keyed by content."""
+
+    def __init__(self, root: str | os.PathLike,
+                 code_version: str | None = None) -> None:
+        self.root = Path(root)
+        self.code_version = (code_version if code_version is not None
+                             else code_version_hash())
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, payload: dict) -> str:
+        return cache_key(payload, self.code_version)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or None (corrupt files are
+        dropped and treated as misses)."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if (not isinstance(record, dict)
+                or record.get("schema") != SCHEMA_VERSION):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(record, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class NullCache:
+    """Cache-shaped no-op for ``--no-cache`` runs (keys stay stable so
+    callers can still log them)."""
+
+    code_version = "uncached"
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, payload: dict) -> str:
+        return cache_key(payload, self.code_version)
+
+    def get(self, key: str) -> dict | None:
+        self.misses += 1
+        return None
+
+    def put(self, key: str, record: dict) -> None:
+        pass
+
+    def clear(self) -> int:
+        return 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class DatasetCache:
+    """In-memory graphs keyed by dataset name, owned by one harness.
+
+    ``load_dataset`` keeps its own deterministic synthesis cache, so
+    this layer only pins the loaded object per owner — dropping a
+    harness drops its references, and two harnesses never share cache
+    *state* (the fix for the old module-level ``lru_cache``).
+    """
+
+    def __init__(self, loader=load_dataset) -> None:
+        self._loader = loader
+        self._graphs: dict[str, Graph] = {}
+
+    def get(self, name: str) -> Graph:
+        if name not in self._graphs:
+            self._graphs[name] = self._loader(name)
+        return self._graphs[name]
+
+    def clear(self) -> None:
+        self._graphs.clear()
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graphs

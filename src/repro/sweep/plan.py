@@ -1,0 +1,276 @@
+"""Declarative sweep plans: enumerate experiment grids as data.
+
+A :class:`SweepPoint` pins down *everything* needed to compute one
+number of one paper artefact — dataset, network, platform, dataflow
+knobs, Fig 5 variant, and the parameter seed — as a frozen, hashable,
+picklable record. A :class:`SweepPlan` is an ordered, de-duplicated
+collection of points; the factories at the bottom enumerate the grids
+behind Fig 3/4/5 and Tables I/V, plus a tiny ``smoke`` plan for CI.
+
+Keeping plans declarative is what makes the rest of the engine work:
+points can be hashed into cache keys, shipped to worker processes, and
+compared across ``--jobs`` levels without ever re-deriving the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+from repro.config.accelerator import ConfigError
+from repro.config.workload import (
+    DST_STATIONARY,
+    FIG3_DATASETS,
+    FIG4_BLOCKS,
+    FIG5_HIDDEN_DIMS,
+    SRC_STATIONARY,
+    WorkloadSpec,
+    fig3_workloads,
+    fig4_workloads,
+)
+
+#: Platforms a point can target.
+PLATFORMS = ("gnnerator", "gpu", "hygcn")
+
+#: The Fig 5 next-generation variant names
+#: (resolved by :func:`repro.config.platforms.next_generation_variants`).
+VARIANT_NAMES = ("more-graph-memory", "more-dense-compute",
+                 "more-feature-bandwidth")
+
+#: What a point measures: end-to-end latency (compile + simulate) or
+#: compiled DRAM traffic only (Table I never needs the DES replay).
+METRIC_LATENCY = "latency"
+METRIC_TRAFFIC = "traffic"
+METRICS = (METRIC_LATENCY, METRIC_TRAFFIC)
+
+
+class SweepPlanError(ConfigError):
+    """An invalid sweep point or plan."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One experiment point: a workload on a platform with fixed knobs."""
+
+    dataset: str
+    network: str
+    platform: str = "gnnerator"
+    feature_block: int | None = 64
+    traversal: str = DST_STATIONARY
+    hidden_dim: int = 16
+    #: Fig 5 next-generation variant name (GNNerator only).
+    variant: str | None = None
+    #: Override the variant config's feature block (Fig 5 auto-tune).
+    variant_block: int | None = None
+    #: HyGCN window-based sparsity elimination toggle.
+    sparsity_elimination: bool = True
+    metric: str = METRIC_LATENCY
+    #: Parameter-initialisation seed; fixed per point so any worker
+    #: process computes byte-identical results.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.platform not in PLATFORMS:
+            raise SweepPlanError(
+                f"platform must be one of {PLATFORMS}, "
+                f"got {self.platform!r}")
+        if self.metric not in METRICS:
+            raise SweepPlanError(
+                f"metric must be one of {METRICS}, got {self.metric!r}")
+        if self.variant is not None:
+            if self.platform != "gnnerator":
+                raise SweepPlanError(
+                    "variant configs only apply to the gnnerator platform")
+            if self.variant not in VARIANT_NAMES:
+                raise SweepPlanError(
+                    f"variant must be one of {VARIANT_NAMES}, "
+                    f"got {self.variant!r}")
+        # Validates traversal / hidden_dim / feature_block eagerly, so a
+        # malformed point fails at plan time, not inside a worker.
+        self.spec
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        return WorkloadSpec(dataset=self.dataset, network=self.network,
+                            feature_block=self.feature_block,
+                            traversal=self.traversal,
+                            hidden_dim=self.hidden_dim)
+
+    @property
+    def label(self) -> str:
+        """Human-readable point name for logs and reports."""
+        parts = [self.spec.label, f"h{self.hidden_dim}",
+                 f"B{self.feature_block or 'D'}", self.platform]
+        if self.traversal != DST_STATIONARY:
+            parts.insert(3, self.traversal)
+        if self.variant is not None:
+            parts.append(self.variant)
+            if self.variant_block is not None:
+                parts.append(f"vB{self.variant_block}")
+        if self.platform == "hygcn" and not self.sparsity_elimination:
+            parts.append("no-elim")
+        if self.metric != METRIC_LATENCY:
+            parts.append(self.metric)
+        return ":".join(parts)
+
+    def payload(self) -> dict:
+        """The canonical JSON-able form used for cache keys."""
+        return asdict(self)
+
+
+def point_for(spec: WorkloadSpec, platform: str = "gnnerator",
+              **overrides) -> SweepPoint:
+    """Build the point for ``spec`` on ``platform``.
+
+    GPU and HyGCN latencies do not depend on the accelerator dataflow
+    knobs, so those are normalised away — one cache entry serves every
+    sweep that touches the same (dataset, network, hidden_dim).
+    """
+    fields = dict(dataset=spec.dataset, network=spec.network,
+                  feature_block=spec.feature_block,
+                  traversal=spec.traversal, hidden_dim=spec.hidden_dim)
+    if platform in ("gpu", "hygcn"):
+        fields["feature_block"] = None
+        fields["traversal"] = DST_STATIONARY
+    fields.update(overrides)
+    return SweepPoint(platform=platform, **fields)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An ordered, de-duplicated collection of sweep points."""
+
+    name: str
+    points: tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        deduped = tuple(dict.fromkeys(self.points))
+        object.__setattr__(self, "points", deduped)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def with_seed(self, seed: int) -> "SweepPlan":
+        return SweepPlan(self.name, tuple(replace(p, seed=seed)
+                                          for p in self.points))
+
+    @classmethod
+    def merged(cls, name: str, *plans: "SweepPlan") -> "SweepPlan":
+        points: list[SweepPoint] = []
+        for plan in plans:
+            points.extend(plan.points)
+        return cls(name, tuple(points))
+
+
+# ---------------------------------------------------------------------
+# Plan factories — one per paper artefact grid
+# ---------------------------------------------------------------------
+def fig3_plan(feature_block: int | None = 64) -> SweepPlan:
+    """Fig 3: nine workloads x {GPU, GNNerator, GNNerator w/o blocking,
+    HyGCN}."""
+    points: list[SweepPoint] = []
+    for spec in fig3_workloads(feature_block):
+        points.append(point_for(spec, "gpu"))
+        points.append(point_for(spec, "gnnerator"))
+        points.append(point_for(spec.with_block(None), "gnnerator"))
+        points.append(point_for(spec, "hygcn"))
+    return SweepPlan("fig3", tuple(points))
+
+
+def fig4_plan(blocks: tuple[int, ...] = FIG4_BLOCKS) -> SweepPlan:
+    """Fig 4: the 15-workload suite x every block size (the B = 64
+    baseline points are always included)."""
+    points: list[SweepPoint] = []
+    specs = fig4_workloads()
+    for spec in specs:
+        points.append(point_for(spec.with_block(64)))
+    for block in blocks:
+        for spec in specs:
+            points.append(point_for(spec.with_block(block)))
+    return SweepPlan("fig4", tuple(points))
+
+
+def fig5_plan(hidden_dims: tuple[int, ...] = FIG5_HIDDEN_DIMS,
+              network: str = "gcn") -> SweepPlan:
+    """Fig 5: baseline + three scaled-up designs per (dataset, hidden).
+
+    For the doubled Dense Engine the compiler auto-tunes the feature
+    block between the old and new array widths, so that variant
+    contributes two candidate points per workload.
+    """
+    points: list[SweepPoint] = []
+    for hidden in hidden_dims:
+        for dataset in FIG3_DATASETS:
+            spec = WorkloadSpec(dataset=dataset, network=network,
+                                hidden_dim=hidden)
+            points.append(point_for(spec))
+            for name in VARIANT_NAMES:
+                points.append(point_for(spec, variant=name))
+                if name == "more-dense-compute":
+                    points.append(point_for(spec, variant=name,
+                                            variant_block=64))
+    return SweepPlan("fig5", tuple(points))
+
+
+def table1_plan(dataset: str = "pubmed",
+                feature_block: int | None = None) -> SweepPlan:
+    """Table I: compiled DRAM traffic for both traversal orders."""
+    points = []
+    for order in (SRC_STATIONARY, DST_STATIONARY):
+        spec = WorkloadSpec(dataset=dataset, network="gcn",
+                            feature_block=feature_block, traversal=order)
+        points.append(point_for(spec, metric=METRIC_TRAFFIC))
+    return SweepPlan("table1", tuple(points))
+
+
+def table5_plan() -> SweepPlan:
+    """Table V: GNNerator (with / without blocking) vs HyGCN on GCN."""
+    points: list[SweepPoint] = []
+    for dataset in FIG3_DATASETS:
+        spec = WorkloadSpec(dataset=dataset, network="gcn")
+        points.append(point_for(spec, "hygcn"))
+        points.append(point_for(spec, "gnnerator"))
+        points.append(point_for(spec.with_block(None), "gnnerator"))
+    return SweepPlan("table5", tuple(points))
+
+
+def smoke_plan() -> SweepPlan:
+    """A tiny cross-platform plan for CI smoke runs (seconds, not
+    minutes): cora-gcn on every platform plus one citeseer point."""
+    cora = WorkloadSpec(dataset="cora", network="gcn")
+    citeseer = WorkloadSpec(dataset="citeseer", network="gcn")
+    return SweepPlan("smoke", (
+        point_for(cora, "gnnerator"),
+        point_for(cora.with_block(None), "gnnerator"),
+        point_for(cora, "gpu"),
+        point_for(cora, "hygcn"),
+        point_for(citeseer, "gnnerator"),
+        point_for(citeseer, "gpu"),
+    ))
+
+
+#: Plan registry for the ``repro sweep`` CLI.
+PLAN_NAMES = ("fig3", "fig4", "fig5", "table1", "table5", "smoke", "all")
+
+
+def build_plan(name: str, seed: int = 0) -> SweepPlan:
+    """Resolve a plan by CLI name (``all`` merges every latency grid)."""
+    factories = {
+        "fig3": fig3_plan,
+        "fig4": fig4_plan,
+        "fig5": fig5_plan,
+        "table1": table1_plan,
+        "table5": table5_plan,
+        "smoke": smoke_plan,
+    }
+    if name == "all":
+        plan = SweepPlan.merged("all", fig3_plan(), fig4_plan(),
+                                fig5_plan(), table5_plan(), table1_plan())
+    elif name in factories:
+        plan = factories[name]()
+    else:
+        raise SweepPlanError(
+            f"unknown plan {name!r}; known plans: {', '.join(PLAN_NAMES)}")
+    return plan.with_seed(seed) if seed else plan

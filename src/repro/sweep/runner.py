@@ -1,0 +1,333 @@
+"""Sharded execution of sweep plans with persistent caching.
+
+Three layers:
+
+* :func:`run_point` — compute one point on one harness, capturing any
+  failure as an ``error`` result instead of raising (per-point failure
+  isolation: one bad point never kills a 100-point sweep).
+* :class:`ProcessPoolScheduler` — shard points across worker
+  processes. Each worker keeps one :class:`~repro.eval.harness.Harness`
+  per seed, every point carries its own seed, and results come back in
+  plan order, so ``--jobs 4`` is byte-identical to ``--jobs 1``.
+* :class:`SweepRunner` — probe the :class:`ResultCache` first, compute
+  only the misses (inline or pooled), persist the fresh results, and
+  return a :class:`SweepResult` with per-run hit/miss accounting and
+  JSON/CSV serialisation.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.config.platforms import next_generation_variants
+from repro.sweep.cache import SCHEMA_VERSION, NullCache, ResultCache
+from repro.sweep.plan import METRIC_TRAFFIC, SweepPlan, SweepPoint
+
+
+class SweepError(RuntimeError):
+    """A sweep result required by a caller failed to compute."""
+
+
+@dataclass
+class PointResult:
+    """Outcome of one point: metrics on success, the error otherwise."""
+
+    point: SweepPoint
+    status: str = "ok"
+    metrics: dict = field(default_factory=dict)
+    error: str | None = None
+    #: True when served from the persistent cache without recomputing.
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def seconds(self) -> float | None:
+        return self.metrics.get("seconds")
+
+
+def _gnnerator_config_for(point: SweepPoint):
+    """Resolve a point's explicit config (None = derive from the spec)."""
+    if point.variant is None:
+        return None
+    config = next_generation_variants()[point.variant]
+    if point.variant_block is not None:
+        config = dataclasses.replace(config,
+                                     feature_block=point.variant_block)
+    return config
+
+
+def evaluate_point(point: SweepPoint, harness) -> dict:
+    """Compute one point's metrics on ``harness`` (may raise)."""
+    spec = point.spec
+    if point.platform == "gpu":
+        return {"seconds": harness.gpu_seconds(spec)}
+    if point.platform == "hygcn":
+        return {"seconds": harness.hygcn_seconds(
+            spec, point.sparsity_elimination)}
+    config = _gnnerator_config_for(point)
+    if point.metric == METRIC_TRAFFIC:
+        program = harness.gnnerator_program(spec, config)
+        return {
+            "num_operations": program.num_operations,
+            "total_dram_bytes": program.total_dram_bytes,
+            "dram_bytes_by_purpose": program.dram_bytes_by_purpose(),
+        }
+    result = harness.gnnerator_result(spec, config)
+    return {
+        "seconds": result.seconds,
+        "cycles": result.cycles,
+        "num_operations": result.num_operations,
+        "total_dram_bytes": result.total_dram_bytes,
+        "dram_bytes_by_purpose": result.dram_bytes_by_purpose,
+    }
+
+
+def run_point(point: SweepPoint, harness) -> PointResult:
+    """Compute one point, converting any exception into an error
+    result so sibling points keep running."""
+    try:
+        return PointResult(point, metrics=evaluate_point(point, harness))
+    except Exception as exc:  # per-point failure isolation
+        detail = (f"{type(exc).__name__}: {exc}\n"
+                  f"{traceback.format_exc()}")
+        return PointResult(point, status="error", error=detail)
+
+
+# ---------------------------------------------------------------------
+# Worker-process plumbing (must be module-level for pickling)
+# ---------------------------------------------------------------------
+#: One harness per seed per worker process; graphs / models / params
+#: materialise once per process, not once per point.
+_WORKER_HARNESSES: dict[int, object] = {}
+
+
+def _harness_for(seed: int, store: dict):
+    harness = store.get(seed)
+    if harness is None:
+        from repro.eval.harness import Harness
+
+        harness = store[seed] = Harness(seed=seed)
+    return harness
+
+
+def _worker_run(point: SweepPoint) -> PointResult:
+    return run_point(point, _harness_for(point.seed, _WORKER_HARNESSES))
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None where unavailable
+    (then the platform default start method is used)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def _preload_datasets(points) -> None:
+    """Synthesise every swept dataset once, in the parent.
+
+    Forked workers inherit the populated synthesis cache, so N workers
+    don't each rebuild Pubmed (~2s) before their first point. Unknown
+    datasets are skipped: the owning point must fail *in its worker*
+    so the error stays isolated to that point.
+    """
+    from repro.graph.datasets import load_dataset
+
+    for name in sorted({point.dataset for point in points}):
+        try:
+            load_dataset(name)
+        except Exception:
+            pass
+
+
+class ProcessPoolScheduler:
+    """Shard points across worker processes, preserving plan order.
+
+    Determinism: every point carries its own seed and workers derive
+    all state from (point, seed), so results do not depend on how the
+    pool interleaves work. Failures come back as error results, not
+    exceptions.
+    """
+
+    def __init__(self, jobs: int = 2) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, points) -> list[PointResult]:
+        points = list(points)
+        if not points:
+            return []
+        if self.jobs == 1 or len(points) == 1:
+            store: dict[int, object] = {}
+            return [run_point(p, _harness_for(p.seed, store))
+                    for p in points]
+        workers = min(self.jobs, len(points))
+        chunksize = max(1, len(points) // (workers * 4))
+        context = _fork_context()
+        if context is not None:
+            _preload_datasets(points)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            return list(pool.map(_worker_run, points,
+                                 chunksize=chunksize))
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep run plus run accounting."""
+
+    plan: str
+    results: list[PointResult]
+    jobs: int
+    hits: int
+    misses: int
+    elapsed_s: float
+
+    @property
+    def num_points(self) -> int:
+        return len(self.results)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0
+
+    def result_for(self, point: SweepPoint) -> PointResult:
+        for result in self.results:
+            if result.point == point:
+                return result
+        raise KeyError(f"no result for point {point.label}")
+
+    def metrics_for(self, point: SweepPoint) -> dict:
+        result = self.result_for(point)
+        if not result.ok:
+            raise SweepError(
+                f"sweep point {point.label} failed: {result.error}")
+        return result.metrics
+
+    def seconds_for(self, point: SweepPoint) -> float:
+        return self.metrics_for(point)["seconds"]
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "jobs": self.jobs,
+            "num_points": self.num_points,
+            "errors": self.errors,
+            "cache": {"hits": self.hits, "misses": self.misses},
+            "elapsed_s": self.elapsed_s,
+            "points": [{
+                "point": result.point.payload(),
+                "label": result.point.label,
+                "status": result.status,
+                "cached": result.cached,
+                "error": result.error,
+                "metrics": result.metrics,
+            } for result in self.results],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    #: Flat column order of :meth:`to_csv`.
+    CSV_FIELDS = ("label", "dataset", "network", "platform",
+                  "feature_block", "traversal", "hidden_dim", "variant",
+                  "variant_block", "metric", "seed", "status", "cached",
+                  "seconds", "cycles", "total_dram_bytes", "error")
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=self.CSV_FIELDS)
+        writer.writeheader()
+        for result in self.results:
+            row = {key: value for key, value in result.point.payload().items()
+                   if key in self.CSV_FIELDS}
+            row["label"] = result.point.label
+            row["status"] = result.status
+            row["cached"] = result.cached
+            row["seconds"] = result.metrics.get("seconds")
+            row["cycles"] = result.metrics.get("cycles")
+            row["total_dram_bytes"] = result.metrics.get("total_dram_bytes")
+            row["error"] = ((result.error or "").splitlines() or [""])[0]
+            writer.writerow(row)
+        return out.getvalue()
+
+    def summary(self) -> str:
+        return (f"{self.plan}: {self.num_points} points "
+                f"({self.hits} cached, {self.misses} computed, "
+                f"{self.errors} errors) in {self.elapsed_s:.1f}s "
+                f"at jobs={self.jobs}")
+
+
+class SweepRunner:
+    """Cache-aware front door: probe, compute misses, persist, report."""
+
+    def __init__(self, jobs: int = 1, cache=None, harness=None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else NullCache()
+        self._harnesses: dict[int, object] = {}
+        if harness is not None:
+            self._harnesses[harness.seed] = harness
+
+    @classmethod
+    def cached(cls, cache_dir: str, jobs: int = 1) -> "SweepRunner":
+        return cls(jobs=jobs, cache=ResultCache(cache_dir))
+
+    def run(self, plan: SweepPlan) -> SweepResult:
+        start = time.monotonic()
+        results: list[PointResult | None] = []
+        pending: list[tuple[int, SweepPoint, str]] = []
+        for point in plan.points:
+            key = self.cache.key_for(point.payload())
+            record = self.cache.get(key)
+            if record is not None and record.get("status") == "ok":
+                results.append(PointResult(point, metrics=record["metrics"],
+                                           cached=True))
+            else:
+                pending.append((len(results), point, key))
+                results.append(None)
+        if pending:
+            missed = [point for _, point, _ in pending]
+            if self.jobs > 1 and len(missed) > 1:
+                computed = ProcessPoolScheduler(self.jobs).run(missed)
+            else:
+                computed = [run_point(p, _harness_for(p.seed,
+                                                      self._harnesses))
+                            for p in missed]
+            for (index, point, key), result in zip(pending, computed):
+                results[index] = result
+                if result.ok:
+                    self.cache.put(key, {
+                        "schema": SCHEMA_VERSION,
+                        "key": key,
+                        "code_version": self.cache.code_version,
+                        "point": point.payload(),
+                        "status": "ok",
+                        "metrics": result.metrics,
+                    })
+        return SweepResult(
+            plan=plan.name,
+            results=results,
+            jobs=self.jobs,
+            hits=len(plan.points) - len(pending),
+            misses=len(pending),
+            elapsed_s=time.monotonic() - start,
+        )

@@ -1,12 +1,10 @@
 """Unit tests for the GPU and HyGCN baseline models."""
 
-import dataclasses
-
 import pytest
 
 from repro.baselines.gpu import GpuModel, gpu_latency
 from repro.baselines.hygcn import HyGCNModel, hygcn_latency
-from repro.config.platforms import hygcn_config, rtx_2080_ti_config
+from repro.config.platforms import hygcn_config
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import erdos_renyi
 from repro.models.accounting import (

@@ -8,7 +8,6 @@ from repro.compiler.ir import (
     DmaOp,
     GemmOp,
     InitAccumulatorOp,
-    ShardAggregateOp,
     op_bytes,
     op_cycles,
 )

@@ -33,7 +33,16 @@ class TestGeometricMean:
 
 class TestHarness:
     def test_graph_cached(self):
-        assert Harness.graph("cora") is Harness.graph("cora")
+        harness = Harness()
+        assert harness.graph("cora") is harness.graph("cora")
+
+    def test_graph_cache_not_shared_between_instances(self):
+        """Dataset caching is per harness (no module-level lru_cache
+        leaking across instances/seeds)."""
+        a, b = Harness(), Harness(seed=1)
+        a.graph("cora")
+        assert "cora" in a._datasets
+        assert "cora" not in b._datasets
 
     def test_params_cached_per_workload(self):
         harness = Harness()

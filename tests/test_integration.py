@@ -129,7 +129,6 @@ class TestPaperClaims:
 
     def test_dense_compute_helps_large_hidden(self):
         """Fig 5: 2x Dense Engine pays off at hidden dim 1024."""
-        import dataclasses
         from repro.config.platforms import next_generation_variants
         spec = WorkloadSpec(dataset="citeseer", network="gcn",
                             hidden_dim=1024)

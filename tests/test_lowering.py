@@ -1,6 +1,5 @@
 """Unit tests for the lowering pass (program structure and traffic)."""
 
-import numpy as np
 import pytest
 
 from repro.compiler.ir import (
@@ -17,7 +16,6 @@ from repro.compiler.validation import validate_program
 from repro.config.accelerator import ELEM_BYTES
 from repro.config.workload import DST_STATIONARY, SRC_STATIONARY
 from repro.graph.generators import erdos_renyi
-from repro.models.layers import init_parameters
 from repro.models.zoo import build_network
 from tests.conftest import make_tiny_config
 

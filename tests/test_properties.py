@@ -7,7 +7,6 @@ sharder, the cost model, and the DES kernel.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,377 @@
+"""Tests for the parallel sweep engine: plans, cache, scheduler,
+runner, and the ``sweep`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config.workload import WorkloadSpec
+from repro.eval.experiments import fig3_speedups, table1_dataflow_costs
+from repro.eval.harness import Harness
+from repro.sweep import (
+    DatasetCache,
+    NullCache,
+    ResultCache,
+    SweepError,
+    SweepPlan,
+    SweepPlanError,
+    SweepPoint,
+    SweepRunner,
+    build_plan,
+    cache_key,
+    code_version_hash,
+    fig3_plan,
+    fig4_plan,
+    fig5_plan,
+    point_for,
+    smoke_plan,
+    table1_plan,
+    table5_plan,
+)
+
+CORA_GCN = WorkloadSpec(dataset="cora", network="gcn")
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    """One shared serial run of the smoke plan for result-shape tests."""
+    return SweepRunner().run(smoke_plan())
+
+
+# ---------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------
+class TestPlans:
+    def test_fig3_plan_covers_all_platforms(self):
+        plan = fig3_plan()
+        assert len(plan) == 36  # 9 workloads x 4 platform points
+        platforms = {p.platform for p in plan}
+        assert platforms == {"gnnerator", "gpu", "hygcn"}
+
+    def test_fig4_plan_always_includes_baseline(self):
+        plan = fig4_plan(blocks=(128,))
+        blocks = {p.feature_block for p in plan}
+        assert blocks == {64, 128}
+
+    def test_fig5_plan_has_dense_autotune_candidates(self):
+        plan = fig5_plan(hidden_dims=(16,))
+        dense = [p for p in plan if p.variant == "more-dense-compute"]
+        assert {p.variant_block for p in dense} == {None, 64}
+
+    def test_plans_deduplicate_points(self):
+        point = point_for(CORA_GCN)
+        plan = SweepPlan("dup", (point, point))
+        assert len(plan) == 1
+
+    def test_point_validates_eagerly(self):
+        with pytest.raises(SweepPlanError):
+            SweepPoint(dataset="cora", network="gcn", platform="tpu")
+        with pytest.raises(SweepPlanError):
+            SweepPoint(dataset="cora", network="gcn", metric="flops")
+        with pytest.raises(SweepPlanError):
+            SweepPoint(dataset="cora", network="gcn", platform="gpu",
+                       variant="more-graph-memory")
+        with pytest.raises(Exception):
+            SweepPoint(dataset="cora", network="gcn", hidden_dim=0)
+
+    def test_baseline_platform_points_are_normalised(self):
+        """GPU/HyGCN latencies ignore dataflow knobs, so their points
+        collapse onto one cache entry."""
+        a = point_for(CORA_GCN, "gpu")
+        b = point_for(CORA_GCN.with_block(None), "gpu")
+        assert a == b
+
+    def test_build_plan_registry(self):
+        for name in ("fig3", "fig4", "fig5", "table1", "table5",
+                     "smoke", "all"):
+            assert len(build_plan(name)) > 0
+        with pytest.raises(SweepPlanError):
+            build_plan("fig9")
+
+    def test_build_plan_seeds_every_point(self):
+        plan = build_plan("smoke", seed=7)
+        assert all(p.seed == 7 for p in plan)
+
+
+# ---------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        key = cache.key_for(point_for(CORA_GCN).payload())
+        assert cache.get(key) is None
+        cache.put(key, {"schema": 1, "status": "ok",
+                        "metrics": {"seconds": 1.5}})
+        record = cache.get(key)
+        assert record["metrics"]["seconds"] == 1.5
+        assert cache.stats == {"hits": 1, "misses": 1}
+
+    def test_key_changes_with_config(self):
+        base = point_for(CORA_GCN).payload()
+        other = point_for(CORA_GCN.with_block(32)).payload()
+        assert cache_key(base, "v1") != cache_key(other, "v1")
+
+    def test_key_changes_with_code_version(self):
+        payload = point_for(CORA_GCN).payload()
+        assert cache_key(payload, "v1") != cache_key(payload, "v2")
+
+    def test_key_changes_with_seed(self):
+        a = point_for(CORA_GCN).payload()
+        b = point_for(CORA_GCN, seed=1).payload()
+        assert cache_key(a, "v1") != cache_key(b, "v1")
+
+    def test_corrupt_entry_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        key = cache.key_for(point_for(CORA_GCN).payload())
+        cache.put(key, {"schema": 1, "status": "ok", "metrics": {}})
+        path = cache._path(key)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        for block in (16, 32):
+            key = cache.key_for(point_for(CORA_GCN.with_block(block))
+                                .payload())
+            cache.put(key, {"schema": 1, "status": "ok", "metrics": {}})
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_code_version_hash_is_stable(self):
+        assert code_version_hash() == code_version_hash()
+        assert len(code_version_hash()) == 64
+
+
+class TestDatasetCache:
+    def test_caches_per_instance(self):
+        calls = []
+
+        def loader(name):
+            calls.append(name)
+            return object()
+
+        cache = DatasetCache(loader=loader)
+        assert cache.get("cora") is cache.get("cora")
+        assert calls == ["cora"]
+        other = DatasetCache(loader=loader)
+        other.get("cora")
+        assert calls == ["cora", "cora"]
+
+
+# ---------------------------------------------------------------------
+# Runner: caching behaviour
+# ---------------------------------------------------------------------
+class TestRunnerCaching:
+    PLAN = SweepPlan("mini", (
+        point_for(CORA_GCN),
+        point_for(CORA_GCN, "hygcn"),
+    ))
+
+    def test_cold_then_warm(self, tmp_path):
+        cold = SweepRunner(cache=ResultCache(tmp_path)).run(self.PLAN)
+        assert cold.ok and cold.misses == 2 and cold.hits == 0
+        warm = SweepRunner(cache=ResultCache(tmp_path)).run(self.PLAN)
+        assert warm.ok and warm.misses == 0 and warm.hits == 2
+        assert all(r.cached for r in warm.results)
+        for point in self.PLAN:
+            assert (warm.seconds_for(point)
+                    == cold.seconds_for(point))
+
+    def test_config_change_invalidates(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        runner.run(self.PLAN)
+        changed = SweepPlan("mini32", (point_for(CORA_GCN.with_block(32)),))
+        result = SweepRunner(cache=ResultCache(tmp_path)).run(changed)
+        assert result.misses == 1 and result.hits == 0
+
+    def test_code_change_invalidates(self, tmp_path):
+        SweepRunner(cache=ResultCache(tmp_path, code_version="a")) \
+            .run(self.PLAN)
+        rerun = SweepRunner(cache=ResultCache(tmp_path, code_version="b")) \
+            .run(self.PLAN)
+        assert rerun.misses == 2 and rerun.hits == 0
+
+    def test_null_cache_never_persists(self, tmp_path):
+        cache = NullCache()
+        first = SweepRunner(cache=cache).run(self.PLAN)
+        second = SweepRunner(cache=cache).run(self.PLAN)
+        assert first.misses == second.misses == 2
+        assert not any(r.cached for r in second.results)
+
+
+# ---------------------------------------------------------------------
+# Runner: scheduling, determinism, failure isolation
+# ---------------------------------------------------------------------
+class TestScheduling:
+    def test_parallel_matches_serial_exactly(self, tmp_path):
+        plan = smoke_plan()
+        serial = SweepRunner(jobs=1).run(plan)
+        parallel = SweepRunner(jobs=4).run(plan)
+        assert serial.ok and parallel.ok
+        for point in plan:
+            assert (serial.result_for(point).metrics
+                    == parallel.result_for(point).metrics)
+
+    def test_results_preserve_plan_order(self, smoke_result):
+        assert ([r.point for r in smoke_result.results]
+                == list(smoke_plan().points))
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_is_isolated_per_point(self, jobs):
+        plan = SweepPlan("faulty", (
+            point_for(CORA_GCN),
+            SweepPoint(dataset="no-such-dataset", network="gcn"),
+            point_for(CORA_GCN, "hygcn"),
+        ))
+        result = SweepRunner(jobs=jobs).run(plan)
+        statuses = [r.status for r in result.results]
+        assert statuses == ["ok", "error", "ok"]
+        assert result.errors == 1
+        bad = result.results[1]
+        assert "no-such-dataset" in bad.error
+        with pytest.raises(SweepError):
+            result.metrics_for(bad.point)
+
+    def test_failed_points_are_not_cached(self, tmp_path):
+        plan = SweepPlan("faulty", (
+            SweepPoint(dataset="no-such-dataset", network="gcn"),))
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).run(plan)
+        assert len(cache) == 0
+        rerun = SweepRunner(cache=ResultCache(tmp_path)).run(plan)
+        assert rerun.misses == 1
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+# ---------------------------------------------------------------------
+# Result serialisation
+# ---------------------------------------------------------------------
+class TestSweepResult:
+    def test_to_json_shape(self, smoke_result):
+        data = json.loads(smoke_result.to_json())
+        assert data["plan"] == "smoke"
+        assert data["errors"] == 0
+        assert data["cache"] == {"hits": 0, "misses": 6}
+        assert len(data["points"]) == 6
+        first = data["points"][0]
+        assert first["status"] == "ok"
+        assert first["metrics"]["seconds"] > 0
+        assert first["point"]["dataset"] == "cora"
+
+    def test_to_csv_shape(self, smoke_result):
+        lines = smoke_result.to_csv().strip().splitlines()
+        assert len(lines) == 7  # header + 6 points
+        assert lines[0].startswith("label,dataset,network,platform")
+        assert "cora,gcn,gnnerator" in lines[1]
+
+    def test_unknown_point_raises(self, smoke_result):
+        with pytest.raises(KeyError):
+            smoke_result.result_for(point_for(
+                WorkloadSpec(dataset="pubmed", network="gcn")))
+
+
+# ---------------------------------------------------------------------
+# Experiments route through the engine
+# ---------------------------------------------------------------------
+class TestExperimentsIntegration:
+    def test_fig3_via_cached_runner_is_identical(self, tmp_path):
+        """A cached, sharded fig3 equals the default serial path —
+        the engine changes wall-clock, never numbers."""
+        serial = fig3_speedups()
+        cached = fig3_speedups(
+            runner=SweepRunner(jobs=2, cache=ResultCache(tmp_path)))
+        warm = fig3_speedups(
+            runner=SweepRunner(cache=ResultCache(tmp_path)))
+        for a, b, c in zip(serial.rows, cached.rows, warm.rows):
+            assert a.speedup_blocked == b.speedup_blocked
+            assert a.speedup_blocked == c.speedup_blocked
+            assert a.speedup_no_blocking == c.speedup_no_blocking
+
+    def test_table1_traffic_points_skip_simulation(self):
+        plan = table1_plan(dataset="cora")
+        assert all(p.metric == "traffic" for p in plan)
+        rows = table1_dataflow_costs(dataset="cora", feature_block=None)
+        assert all(row.matches for row in rows)
+
+    def test_table5_plan_omits_gpu(self):
+        assert all(p.platform != "gpu" for p in table5_plan())
+
+    def test_shared_harness_is_reused(self):
+        harness = Harness()
+        runner = SweepRunner(harness=harness)
+        runner.run(SweepPlan("one", (point_for(CORA_GCN),)))
+        assert "cora" in harness._datasets
+
+    def test_seeded_harness_is_honoured(self):
+        """A caller-supplied harness with a non-default seed must
+        actually compute the points (plan points are re-seeded to
+        match, as the serial path historically did)."""
+        from repro.eval.experiments import table5_hygcn
+
+        harness = Harness(seed=5)
+        table5_hygcn(harness=harness)
+        assert "cora" in harness._datasets
+
+
+# ---------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------
+class TestSweepCli:
+    def test_sweep_json_output_file(self, tmp_path, capsys):
+        out = tmp_path / "smoke.json"
+        assert main(["sweep", "smoke", "--cache-dir",
+                     str(tmp_path / "cache"), "--format", "json",
+                     "--output", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["plan"] == "smoke" and data["errors"] == 0
+        summary = capsys.readouterr().out
+        assert "6 points" in summary and str(out) in summary
+
+    def test_sweep_warm_rerun_recomputes_nothing(self, tmp_path, capsys):
+        args = ["sweep", "smoke", "--cache-dir", str(tmp_path / "cache"),
+                "--jobs", "2", "--format", "json"]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache"]["misses"] == 6
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache"] == {"hits": 6, "misses": 0}
+        assert ([p["metrics"] for p in cold["points"]]
+                == [p["metrics"] for p in warm["points"]])
+
+    def test_sweep_no_cache_leaves_no_files(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", "smoke", "--no-cache", "--cache-dir",
+                     str(cache_dir), "--format", "csv"]) == 0
+        assert not cache_dir.exists()
+        out = capsys.readouterr().out
+        assert out.startswith("label,")
+
+    def test_sweep_table_format(self, tmp_path, capsys):
+        assert main(["sweep", "smoke", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep — smoke" in out and "cora-gcn" in out
+
+    def test_sweep_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig9"])
+
+    def test_sweep_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "smoke", "--jobs", "0"])
+
+    def test_sweep_exit_code_on_point_failure(self, monkeypatch, capsys):
+        faulty = SweepPlan("faulty", (
+            SweepPoint(dataset="no-such-dataset", network="gcn"),))
+        monkeypatch.setattr("repro.cli.build_plan",
+                            lambda name, seed=0: faulty)
+        assert main(["sweep", "smoke", "--no-cache"]) == 1
+        assert "error" in capsys.readouterr().out

@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.accelerator import GNNerator
-from repro.compiler.ir import DmaOp, ReleaseOp
+from repro.compiler.ir import ReleaseOp
 from repro.compiler.lowering import compile_workload
 from repro.compiler.validation import (
     ValidationError,
