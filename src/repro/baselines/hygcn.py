@@ -130,7 +130,14 @@ class HyGCNModel:
         edge_cycles = self._bytes_to_cycles(
             graph.num_edges * EDGE_BYTES, STREAM_EFFICIENCY)
         slots = -(-dim // self.config.agg_lanes)
-        compute = (graph.num_edges * slots
+        per_edge = slots
+        if stage.needs_features:
+            # Computed attention weights: the SIMD cores sweep each
+            # edge's feature vector once more for the logit dot
+            # products, plus a softmax normalisation slot — the same
+            # surcharge GNNerator's GPE model pays.
+            per_edge += slots + 1
+        compute = (graph.num_edges * per_edge
                    + graph.num_nodes * (PER_VERTEX_OVERHEAD + slots))
         elimination = streamed / max(gathered, 1)
         return (PhaseTime(name="aggregate",

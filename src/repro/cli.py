@@ -41,7 +41,7 @@ from repro.eval.report import (
     render_table5,
 )
 from repro.graph.datasets import dataset_table
-from repro.models.zoo import network_table
+from repro.models.zoo import NETWORK_NAMES, network_table
 from repro.sweep import (
     PLAN_NAMES,
     NullCache,
@@ -51,7 +51,9 @@ from repro.sweep import (
 )
 
 
-def _cmd_fig3(_: argparse.Namespace) -> str:
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    if getattr(args, "network", None):
+        return render_fig3(fig3_speedups(networks=tuple(args.network)))
     return render_fig3(fig3_speedups())
 
 
@@ -104,7 +106,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
-    plan = build_plan(args.plan, seed=args.seed)
+    networks = tuple(args.network) if args.network else None
+    plan = build_plan(args.plan, seed=args.seed, networks=networks)
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
     runner = SweepRunner(jobs=args.jobs, cache=cache)
     result = runner.run(plan)
@@ -171,14 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="gnnerator",
         description="Regenerate GNNerator (DAC 2021) evaluation artefacts")
     sub = parser.add_subparsers(dest="command", required=True)
-    for name, fn in (("fig3", _cmd_fig3), ("fig4", _cmd_fig4),
+    fig3 = sub.add_parser("fig3")
+    fig3.add_argument("--network", action="append",
+                      choices=NETWORK_NAMES, metavar="NETWORK",
+                      help="run the grid over these networks instead of "
+                           "the paper's Table III trio (repeatable)")
+    fig3.set_defaults(handler=_cmd_fig3)
+    for name, fn in (("fig4", _cmd_fig4),
                      ("fig5", _cmd_fig5), ("table1", _cmd_table1),
                      ("table5", _cmd_table5), ("configs", _cmd_configs)):
         sub.add_parser(name).set_defaults(handler=fn)
     run = sub.add_parser("run", help="simulate one workload")
     run.add_argument("dataset", choices=("cora", "citeseer", "pubmed"))
-    run.add_argument("network",
-                     choices=("gcn", "graphsage", "graphsage-pool"))
+    run.add_argument("network", choices=NETWORK_NAMES)
     run.add_argument("--block", type=int, default=64,
                      help="feature block size B (default 64)")
     run.add_argument("--hidden-dim", type=int, default=16)
@@ -186,8 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep",
         help="run an experiment grid through the parallel sweep engine")
-    sweep.add_argument("plan", choices=PLAN_NAMES,
-                       help="which evaluation grid to run")
+    sweep.add_argument("plan", choices=PLAN_NAMES, nargs="?",
+                       default="fig3",
+                       help="which evaluation grid to run (default fig3)")
+    sweep.add_argument("--network", action="append",
+                       choices=NETWORK_NAMES, metavar="NETWORK",
+                       help="restrict the fig3 grid to these networks "
+                            "(repeatable; any zoo network, incl. gat/gin)")
     sweep.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes (default 1 = in-process)")
     sweep.add_argument("--cache-dir", default=".sweep-cache",
@@ -205,8 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace",
                            help="render a pipeline Gantt chart")
     trace.add_argument("dataset", choices=("cora", "citeseer", "pubmed"))
-    trace.add_argument("network",
-                       choices=("gcn", "graphsage", "graphsage-pool"))
+    trace.add_argument("network", choices=NETWORK_NAMES)
     trace.set_defaults(handler=_cmd_trace)
     bottleneck = sub.add_parser(
         "bottleneck",
@@ -214,9 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
              "reasoning)")
     bottleneck.add_argument("dataset",
                             choices=("cora", "citeseer", "pubmed"))
-    bottleneck.add_argument("network",
-                            choices=("gcn", "graphsage",
-                                     "graphsage-pool"))
+    bottleneck.add_argument("network", choices=NETWORK_NAMES)
     bottleneck.set_defaults(handler=_cmd_bottleneck)
     return parser
 

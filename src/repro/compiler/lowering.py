@@ -63,7 +63,8 @@ from repro.engines.graph.gpe import (
 )
 from repro.graph.graph import Graph
 from repro.graph.partition import ShardGrid, plan_shards
-from repro.models.layers import Parameters, init_parameters
+from repro.models.layers import Parameters, dense_forward, init_parameters
+from repro.models.reference import apply_aggregate
 from repro.models.stages import AggregateStage, ExtractStage, GNNModel
 
 
@@ -128,6 +129,15 @@ class Lowering:
             num_nodes=graph.num_nodes)
         self._token_seq = 0
         self._gpe_cache: dict[tuple[int, int, int, int], int] = {}
+        # Attention stages need the *values* flowing into them at compile
+        # time (their edge weights are computed, not structural), so the
+        # compiler shadows the reference execution — but only when some
+        # stage actually consumes features.
+        self._needs_shadow = any(
+            isinstance(stage, AggregateStage) and stage.needs_features
+            for layer in model.layers for stage in layer.stages)
+        self._shadow_h = graph.features if self._needs_shadow else None
+        self._shadow_layer_input = self._shadow_h
 
     # ------------------------------------------------------------------
     # Small helpers
@@ -180,6 +190,7 @@ class Lowering:
         current = ValueRef(program.input_array, Coverage())
         for layer_index, layer in enumerate(self.model.layers):
             layer_input = current
+            self._shadow_layer_input = self._shadow_h
             # Pre-plan every aggregate stage of the layer: extracts that
             # precede an aggregation chunk their rows by its intervals.
             for stage_index, stage in enumerate(layer.stages):
@@ -219,9 +230,8 @@ class Lowering:
         plan = program.plans[(layer, stage_index, "main")]
         side = grid.grid_side
 
-        program.edge_weights[(layer, stage_index)] = (
-            stage.edge_weights(self.graph))
-        self_w = stage.self_weights(self.graph)
+        edge_w, self_w = self._aggregate_weights(layer, stage_index, stage)
+        program.edge_weights[(layer, stage_index)] = edge_w
         program.self_weights[(layer, stage_index)] = self_w
         acc_array = program.declare_array(
             f"l{layer}s{stage_index}.agg", stage.dim)
@@ -321,7 +331,9 @@ class Lowering:
                     acc_array=acc_array, src_array=incoming.array,
                     num_edges=shard.num_edges,
                     max_gpe_edges=worst,
-                    cycles=shard_compute_cycles(worst, width, config)))
+                    cycles=shard_compute_cycles(
+                        worst, width, config,
+                        attention=stage.needs_features)))
             if apply_self:
                 compute_ops.append(SelfApplyOp(
                     unit="graph.compute", layer=layer, stage=stage_index,
@@ -359,8 +371,29 @@ class Lowering:
         leftover = dst_state.unfinished()
         if leftover:
             raise CompileError(f"columns left unfinished: {leftover}")
+        if self._needs_shadow:
+            self._shadow_h = apply_aggregate(
+                self.graph, self._shadow_h, stage.reduce, edge_w, self_w)
         return (ValueRef(acc_array, Coverage(tuple(cover_entries))),
                 completion)
+
+    def _aggregate_weights(self, layer: int, stage_index: int,
+                           stage: AggregateStage
+                           ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Resolve the stage's Apply weights at compile time.
+
+        Static stages derive them from graph structure; attention stages
+        compute softmax coefficients from the shadow features flowing
+        into the stage plus the learned (a_src, a_dst) vectors — the
+        compiler then distributes them as ordinary per-shard edge data.
+        """
+        if not stage.needs_features:
+            return stage.edge_weights(self.graph), \
+                stage.self_weights(self.graph)
+        attention = self.program.params.attention(layer, stage_index)
+        return stage.compute_weights(self.graph,
+                                     features=self._shadow_h,
+                                     attention=attention)
 
     def _emit_partial_spill(self, layer: int, stage_index: int,
                             grid: ShardGrid, plan: BlockPlan,
@@ -418,8 +451,16 @@ class Lowering:
             intervals = _row_subchunks((0, self.graph.num_nodes), rows_per)
             completion = None
 
-        return self._emit_extract(layer, stage_index, stage, incoming,
-                                  layer_input, intervals, completion)
+        value = self._emit_extract(layer, stage_index, stage, incoming,
+                                   layer_input, intervals, completion)
+        if self._needs_shadow:
+            x = self._shadow_h
+            if stage.concat_self:
+                x = np.concatenate([x, self._shadow_layer_input], axis=1)
+            self._shadow_h = dense_forward(
+                stage, x, self.program.params.weight(layer, stage_index),
+                self.program.params.bias(layer, stage_index))
+        return value
 
     def _emit_extract(self, layer: int, stage_index: int,
                       stage: ExtractStage, incoming: ValueRef,

@@ -53,7 +53,7 @@ class WorkloadSpec:
             "gcn": "gcn",
             "graphsage": "gsage",
             "graphsage-pool": "gsage-max",
-        }.get(self.network, self.network)
+        }.get(self.network, self.network)  # gat / gin pass through
         return f"{short_dataset}-{short_network}"
 
     def with_block(self, block: int | None) -> "WorkloadSpec":
@@ -69,14 +69,25 @@ class WorkloadSpec:
 FIG3_DATASETS = ("cora", "citeseer", "pubmed")
 FIG3_NETWORKS = ("gcn", "graphsage", "graphsage-pool")
 
+#: Zoo extensions beyond the paper's Table III, runnable through every
+#: Fig-3-style grid via the ``networks`` parameter / ``--network`` flag.
+EXTENSION_NETWORKS = ("gat", "gin")
 
-def fig3_workloads(feature_block: int | None = 64) -> list[WorkloadSpec]:
-    """The benchmark suite of Fig 3, in the paper's plotting order."""
+
+def fig3_workloads(feature_block: int | None = 64,
+                   networks: tuple[str, ...] = FIG3_NETWORKS
+                   ) -> list[WorkloadSpec]:
+    """A Fig-3-style benchmark suite, in the paper's plotting order.
+
+    The default is the paper's nine workloads; pass ``networks`` to run
+    the same (dataset x network) grid over zoo extensions, e.g.
+    ``("gat",)`` or ``("gin",)``.
+    """
     return [
         WorkloadSpec(dataset=dataset, network=network,
                      feature_block=feature_block)
         for dataset in FIG3_DATASETS
-        for network in FIG3_NETWORKS
+        for network in networks
     ]
 
 

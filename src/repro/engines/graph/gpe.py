@@ -42,12 +42,22 @@ def max_gpe_edges(shard: Shard, num_gpes: int) -> int:
 
 
 def shard_compute_cycles(worst_gpe_edges: int, width: int,
-                         config: GraphEngineConfig) -> int:
-    """Cycles for the Shard Compute Unit to process one shard block."""
+                         config: GraphEngineConfig,
+                         attention: bool = False) -> int:
+    """Cycles for the Shard Compute Unit to process one shard block.
+
+    ``attention`` charges the extra per-edge work of computed weights:
+    the Apply units sweep the feature block once more to reduce the
+    logit dot products, plus one slot per edge for the softmax
+    scale — static weights arrive precomputed with the edge data and
+    cost nothing extra.
+    """
     if worst_gpe_edges == 0:
         return 0
-    return (config.pipeline_depth
-            + worst_gpe_edges * lane_slots(width, config.simd_width))
+    slots = lane_slots(width, config.simd_width)
+    if attention:
+        slots += lane_slots(width, config.simd_width) + 1
+    return config.pipeline_depth + worst_gpe_edges * slots
 
 
 def interval_touch_cycles(num_rows: int, width: int,

@@ -20,6 +20,7 @@ from repro.config.platforms import gnnerator_config
 from repro.config.workload import (
     DST_STATIONARY,
     FIG3_DATASETS,
+    FIG3_NETWORKS,
     FIG4_BLOCKS,
     FIG5_HIDDEN_DIMS,
     SRC_STATIONARY,
@@ -113,13 +114,21 @@ class Fig3Result:
 
 
 def fig3_speedups(harness: Harness | None = None,
-                  runner: SweepRunner | None = None) -> Fig3Result:
-    """Regenerate Fig 3: nine workloads plus the Gmean bar."""
+                  runner: SweepRunner | None = None,
+                  networks: tuple[str, ...] = FIG3_NETWORKS
+                  ) -> Fig3Result:
+    """Regenerate Fig 3: (datasets x networks) plus the Gmean bar.
+
+    ``networks`` defaults to the paper's nine workloads; zoo extensions
+    (``("gat",)``, ``("gin",)``) run the same grid and report speedups
+    without paper reference columns.
+    """
     seed = _seed(runner, harness)
-    sweep = _runner(runner, harness).run(fig3_plan().with_seed(seed))
+    sweep = _runner(runner, harness).run(
+        fig3_plan(networks=networks).with_seed(seed))
     result = Fig3Result()
     blocked, unblocked = [], []
-    for spec in fig3_workloads():
+    for spec in fig3_workloads(networks=networks):
         gpu = sweep.seconds_for(point_for(spec, "gpu", seed=seed))
         gnn = sweep.seconds_for(point_for(spec, "gnnerator", seed=seed))
         gnn_unblocked = sweep.seconds_for(
@@ -132,12 +141,14 @@ def fig3_speedups(harness: Harness | None = None,
             paper_blocked=paper[0], paper_no_blocking=paper[1]))
         blocked.append(gpu / gnn)
         unblocked.append(gpu / gnn_unblocked)
+    paper_gmean = (FIG3_PAPER["Gmean"]
+                   if tuple(networks) == FIG3_NETWORKS else (None, None))
     result.rows.append(Fig3Row(
         label="Gmean",
         speedup_blocked=geometric_mean(blocked),
         speedup_no_blocking=geometric_mean(unblocked),
-        paper_blocked=FIG3_PAPER["Gmean"][0],
-        paper_no_blocking=FIG3_PAPER["Gmean"][1]))
+        paper_blocked=paper_gmean[0],
+        paper_no_blocking=paper_gmean[1]))
     return result
 
 

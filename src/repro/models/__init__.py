@@ -1,4 +1,5 @@
-"""GNN model zoo: stage IR, networks (Table III), reference executor."""
+"""GNN model zoo: stage IR, networks (Table III + GAT/GIN extensions),
+reference executor."""
 
 from repro.models.accounting import (
     KernelProfile,
@@ -8,7 +9,9 @@ from repro.models.accounting import (
     model_flops,
     model_kernels,
 )
+from repro.models.gat import gat_layer
 from repro.models.gcn import gcn_layer
+from repro.models.gin import gin_layer
 from repro.models.graphsage import graphsage_layer
 from repro.models.graphsage_pool import graphsage_pool_layer
 from repro.models.layers import (
@@ -48,7 +51,9 @@ __all__ = [
     "model_bytes",
     "model_flops",
     "model_kernels",
+    "gat_layer",
     "gcn_layer",
+    "gin_layer",
     "graphsage_layer",
     "graphsage_pool_layer",
     "ACTIVATIONS",

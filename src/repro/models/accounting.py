@@ -58,6 +58,24 @@ def aggregate_kernels(stage: AggregateStage, graph: Graph,
         regular_write_bytes=nodes * ELEM_BYTES,
         parallel_rows=nodes,
     )]
+    if stage.weighting == "attention":
+        # GAT's computed weights: per-node score reductions
+        # (a_src · h, a_dst · h), then the per-edge gather + LeakyReLU +
+        # segment softmax DGL runs as u_add_v / edge_softmax kernels.
+        kernels.append(KernelProfile(
+            name=f"{prefix}/attn-scores",
+            flops=4.0 * nodes * dim,
+            regular_read_bytes=float(nodes) * feat,
+            regular_write_bytes=2.0 * nodes * ELEM_BYTES,
+            parallel_rows=nodes,
+        ))
+        kernels.append(KernelProfile(
+            name=f"{prefix}/edge-softmax",
+            flops=8.0 * edges,
+            irregular_read_bytes=2.0 * edges * ELEM_BYTES,
+            regular_write_bytes=float(edges) * ELEM_BYTES,
+            parallel_rows=max(edges, 1),
+        ))
     if stage.reduce == "sum":
         kernels.append(KernelProfile(
             name=f"{prefix}/spmm",

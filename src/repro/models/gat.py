@@ -1,0 +1,42 @@
+"""Single-head GAT (Veličković et al.) expressed in the stage IR.
+
+One layer first projects every node feature, ``z = act(W h)``, then
+aggregates with *computed* per-edge weights: attention coefficients
+``α(u, v) = softmax_v(LeakyReLU(a_src · z_u + a_dst · z_v))`` over each
+node's incoming edges plus its own ``(v, v)`` pair (the customary
+added-self-loop formulation, expressed here through ``include_self``
+instead of mutating the graph).
+
+The projection runs on the Dense Engine *before* the aggregation — like
+GraphSAGE-pool this is a *dense-first* layer — but unlike every Table III
+network the Graph Engine's Apply units consume per-edge weights that the
+compiler must derive from the projected features, not from graph
+structure alone. That makes GAT the scenario that stresses the
+edge-information path of the accelerator model (GNNBuilder and GenGNN
+make the same observation for generic GNN accelerator generators).
+"""
+
+from __future__ import annotations
+
+from repro.models.stages import AggregateStage, ExtractStage, GNNLayer
+
+
+def gat_layer(in_dim: int, out_dim: int, activation: str = "relu",
+              leaky_slope: float = 0.2, name: str = "gat") -> GNNLayer:
+    """One single-head graph-attention layer.
+
+    The nonlinearity is applied by the projection (the attention logits
+    therefore see the activated features); the attention-weighted sum is
+    the layer output.
+    """
+    return GNNLayer(
+        name=name,
+        stages=(
+            ExtractStage(in_dim=in_dim, out_dim=out_dim,
+                         activation=activation, name=f"{name}-proj"),
+            AggregateStage(dim=out_dim, reduce="sum",
+                           normalization="none", include_self=True,
+                           weighting="attention",
+                           leaky_slope=leaky_slope),
+        ),
+    )

@@ -1,0 +1,41 @@
+"""GIN (Xu et al., "How Powerful are GNNs?") expressed in the stage IR.
+
+One layer computes ``h' = MLP((1 + ε) · h_v + Σ_{u ∈ N(v)} h_u)``: an
+isotropic, un-normalised neighbourhood sum whose self term is scaled by
+``1 + ε``, followed by a two-layer MLP. In the canonical aggregation form
+this is a unit-weight sum with self weight ``1 + ε`` — pure Graph Engine
+work — while the MLP makes the layer *extract-heavy*: two back-to-back
+Dense Engine stages per layer, the workload mix GenGNN's isotropic
+category stresses.
+
+Aggregation precedes extraction — a *graph-first* layer, like GCN, but
+with two chained dense stages consuming the aggregated features.
+"""
+
+from __future__ import annotations
+
+from repro.models.stages import AggregateStage, ExtractStage, GNNLayer
+
+
+def gin_layer(in_dim: int, out_dim: int, activation: str = "relu",
+              epsilon: float = 0.1, mlp_hidden: int | None = None,
+              name: str = "gin") -> GNNLayer:
+    """One GIN layer: ε-scaled self sum, then a 2-layer MLP.
+
+    ``mlp_hidden`` is the MLP's hidden width (defaults to ``out_dim``,
+    the customary configuration); ``activation`` is the MLP's *output*
+    activation — the hidden MLP layer always uses ReLU.
+    """
+    if mlp_hidden is None:
+        mlp_hidden = out_dim
+    return GNNLayer(
+        name=name,
+        stages=(
+            AggregateStage(dim=in_dim, reduce="sum", normalization="none",
+                           include_self=True, epsilon=epsilon),
+            ExtractStage(in_dim=in_dim, out_dim=mlp_hidden,
+                         activation="relu", name=f"{name}-mlp0"),
+            ExtractStage(in_dim=mlp_hidden, out_dim=out_dim,
+                         activation=activation, name=f"{name}-mlp1"),
+        ),
+    )

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.stages import ExtractStage, GNNModel, ModelError
+from repro.models.stages import (
+    AggregateStage,
+    ExtractStage,
+    GNNModel,
+    ModelError,
+)
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -51,19 +56,28 @@ def glorot_uniform(shape: tuple[int, int],
 class Parameters:
     """Weight storage for a model, keyed by ``(layer_index, stage_index)``.
 
-    Only :class:`ExtractStage` entries have parameters: a weight matrix of
-    ``stage.weight_shape`` and (optionally) a bias of ``out_dim``.
+    :class:`ExtractStage` entries have a weight matrix of
+    ``stage.weight_shape`` and (optionally) a bias of ``out_dim``;
+    attention :class:`AggregateStage` entries have a learned
+    ``(a_src, a_dst)`` vector pair of the stage dimensionality.
     """
 
     def __init__(self) -> None:
         self._weights: dict[tuple[int, int], np.ndarray] = {}
         self._biases: dict[tuple[int, int], np.ndarray | None] = {}
+        self._attention: dict[tuple[int, int],
+                              tuple[np.ndarray, np.ndarray]] = {}
 
     def set(self, key: tuple[int, int], weight: np.ndarray,
             bias: np.ndarray | None) -> None:
         self._weights[key] = np.asarray(weight, dtype=np.float32)
         self._biases[key] = (None if bias is None
                              else np.asarray(bias, dtype=np.float32))
+
+    def set_attention(self, key: tuple[int, int], a_src: np.ndarray,
+                      a_dst: np.ndarray) -> None:
+        self._attention[key] = (np.asarray(a_src, dtype=np.float32),
+                                np.asarray(a_dst, dtype=np.float32))
 
     def weight(self, layer: int, stage: int) -> np.ndarray:
         try:
@@ -75,29 +89,49 @@ class Parameters:
     def bias(self, layer: int, stage: int) -> np.ndarray | None:
         return self._biases.get((layer, stage))
 
+    def attention(self, layer: int,
+                  stage: int) -> tuple[np.ndarray, np.ndarray]:
+        try:
+            return self._attention[(layer, stage)]
+        except KeyError:
+            raise ModelError(
+                f"no attention vectors for layer {layer} stage "
+                f"{stage}") from None
+
     def keys(self) -> list[tuple[int, int]]:
         return sorted(self._weights)
+
+    def attention_keys(self) -> list[tuple[int, int]]:
+        return sorted(self._attention)
 
     @property
     def total_bytes(self) -> int:
         total = sum(w.nbytes for w in self._weights.values())
         total += sum(b.nbytes for b in self._biases.values()
                      if b is not None)
+        total += sum(a.nbytes + b.nbytes
+                     for a, b in self._attention.values())
         return total
 
 
 def init_parameters(model: GNNModel, seed: int = 0) -> Parameters:
-    """Deterministic Glorot initialisation of every extract stage."""
+    """Deterministic Glorot initialisation of every extract stage's
+    weights and every attention stage's ``a_src`` / ``a_dst`` vectors."""
     rng = np.random.default_rng(np.random.SeedSequence(seed))
     params = Parameters()
     for layer_index, layer in enumerate(model.layers):
         for stage_index, stage in enumerate(layer.stages):
-            if not isinstance(stage, ExtractStage):
-                continue
-            weight = glorot_uniform(stage.weight_shape, rng)
-            bias = (np.zeros(stage.out_dim, dtype=np.float32)
-                    if stage.bias else None)
-            params.set((layer_index, stage_index), weight, bias)
+            if isinstance(stage, ExtractStage):
+                weight = glorot_uniform(stage.weight_shape, rng)
+                bias = (np.zeros(stage.out_dim, dtype=np.float32)
+                        if stage.bias else None)
+                params.set((layer_index, stage_index), weight, bias)
+            elif (isinstance(stage, AggregateStage)
+                    and stage.needs_features):
+                a_src = glorot_uniform((stage.dim, 1), rng)[:, 0]
+                a_dst = glorot_uniform((stage.dim, 1), rng)[:, 0]
+                params.set_attention((layer_index, stage_index),
+                                     a_src, a_dst)
     return params
 
 

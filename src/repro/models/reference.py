@@ -23,15 +23,34 @@ from repro.models.stages import (
 
 
 def aggregate_reference(stage: AggregateStage, graph: Graph,
-                        h: np.ndarray) -> np.ndarray:
-    """Dense ``(N, dim)`` aggregation of ``h`` along the graph's edges."""
+                        h: np.ndarray,
+                        attention: tuple[np.ndarray, np.ndarray] | None
+                        = None) -> np.ndarray:
+    """Dense ``(N, dim)`` aggregation of ``h`` along the graph's edges.
+
+    Attention stages additionally need the learned ``(a_src, a_dst)``
+    vectors to compute their softmax coefficients from ``h``.
+    """
     if h.shape != (graph.num_nodes, stage.dim):
         raise ModelError(
-            f"aggregate expected {(graph.num_nodes, stage.dim)}, "
-            f"got {h.shape}")
-    weights = stage.edge_weights(graph)
-    self_weights = stage.self_weights(graph)
-    if stage.reduce == "sum":
+            f"aggregate stage expected features of shape "
+            f"{(graph.num_nodes, stage.dim)} (nodes, dim), got "
+            f"{tuple(h.shape)}")
+    weights, self_weights = stage.compute_weights(graph, features=h,
+                                                  attention=attention)
+    return apply_aggregate(graph, h, stage.reduce, weights, self_weights)
+
+
+def apply_aggregate(graph: Graph, h: np.ndarray, reduce: str,
+                    weights: np.ndarray,
+                    self_weights: np.ndarray | None) -> np.ndarray:
+    """Aggregate ``h`` with explicit per-edge / per-node weights.
+
+    Shared by :func:`aggregate_reference` and the compiler's
+    shadow-feature pass, so attention weights baked at compile time are
+    bit-identical to the ones the reference computes.
+    """
+    if reduce == "sum":
         return _weighted_sum(graph, h, weights, self_weights)
     return _segment_max(graph, h, weights, self_weights)
 
@@ -77,13 +96,17 @@ def reference_forward(model: GNNModel, graph: Graph, params: Parameters,
         features, dtype=np.float32)
     if h.shape[1] != model.in_dim:
         raise ModelError(
-            f"model {model.name!r} expects {model.in_dim}-dim inputs, "
-            f"got {h.shape[1]}")
+            f"model {model.name!r} expects features of shape "
+            f"{(graph.num_nodes, model.in_dim)} (nodes, in_dim), got "
+            f"{tuple(h.shape)}")
     for layer_index, layer in enumerate(model.layers):
         layer_input = h
         for stage_index, stage in enumerate(layer.stages):
             if isinstance(stage, AggregateStage):
-                h = aggregate_reference(stage, graph, h)
+                h = aggregate_reference(
+                    stage, graph, h,
+                    attention=(params.attention(layer_index, stage_index)
+                               if stage.needs_features else None))
             elif isinstance(stage, ExtractStage):
                 x = h
                 if stage.concat_self:
@@ -105,7 +128,10 @@ def layer_intermediates(model: GNNModel, graph: Graph,
         layer_input = h
         for stage_index, stage in enumerate(layer.stages):
             if isinstance(stage, AggregateStage):
-                h = aggregate_reference(stage, graph, h)
+                h = aggregate_reference(
+                    stage, graph, h,
+                    attention=(params.attention(layer_index, stage_index)
+                               if stage.needs_features else None))
             else:
                 x = h
                 if stage.concat_self:

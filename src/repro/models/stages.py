@@ -18,10 +18,19 @@ Apply/Reduce units implement directly::
 
 with ``reduce`` either ``sum`` or ``max``. Mean aggregation becomes a sum
 with weights ``1 / (indeg(v) + 1)``; GCN's symmetric normalisation becomes
-per-edge weights ``1 / sqrt(d̂(u) d̂(v))``; max pooling uses unit weights.
-The weight vectors are precomputed per graph by :meth:`edge_weights` /
-:meth:`self_weights` — this is the "edge information" the Shard Compute
-Unit's Edge Fetcher distributes to the Apply units.
+per-edge weights ``1 / sqrt(d̂(u) d̂(v))``; max pooling uses unit weights;
+GIN's isotropic sum scales the self term by ``1 + ε``. The weight vectors
+are precomputed per graph by :meth:`AggregateStage.compute_weights` — this
+is the "edge information" the Shard Compute Unit's Edge Fetcher
+distributes to the Apply units.
+
+Attention (GAT-style) aggregation also fits the canonical form, but its
+weights are *computed*, not static: ``w(u, v) = softmax_v(e(u, v))`` with
+logits ``e(u, v) = LeakyReLU(a_src · h[u] + a_dst · h[v])`` over node
+``v``'s incoming edges (and its self pair when ``include_self``). The
+weights therefore depend on the stage's input features and the learned
+``a_src`` / ``a_dst`` vectors; :meth:`compute_weights` takes both and the
+compiler bakes the resulting coefficients into the per-shard edge data.
 """
 
 from __future__ import annotations
@@ -43,6 +52,15 @@ REDUCE_OPS = ("sum", "max")
 #: Normalisations supported for sum-reduction.
 NORMALIZATIONS = ("none", "mean", "sym")
 
+#: Edge-weight provenance: static weights are pure graph structure;
+#: attention weights are computed from features + learned vectors.
+WEIGHTINGS = ("static", "attention")
+
+
+def leaky_relu(x: np.ndarray, slope: float) -> np.ndarray:
+    """LeakyReLU with negative slope ``slope`` (GAT's logit nonlinearity)."""
+    return np.where(x >= 0.0, x, slope * x)
+
 
 @dataclass(frozen=True)
 class AggregateStage:
@@ -60,12 +78,25 @@ class AggregateStage:
     include_self:
         Whether node ``v``'s own feature participates (the ``∪ u`` in
         Eq 1/2 of the paper).
+    weighting:
+        ``"static"`` (weights from graph structure alone) or
+        ``"attention"`` (GAT-style coefficients computed from the stage's
+        input features and learned ``a_src`` / ``a_dst`` vectors).
+    epsilon:
+        GIN's learnable self-scale: the self term uses weight ``1 + ε``
+        instead of 1. Only meaningful for un-normalised sum-reduction
+        with ``include_self``.
+    leaky_slope:
+        Negative slope of the LeakyReLU applied to attention logits.
     """
 
     dim: int
     reduce: str = "sum"
     normalization: str = "none"
     include_self: bool = True
+    weighting: str = "static"
+    epsilon: float = 0.0
+    leaky_slope: float = 0.2
 
     def __post_init__(self) -> None:
         if self.dim <= 0:
@@ -77,6 +108,26 @@ class AggregateStage:
                 f"unknown normalization {self.normalization!r}")
         if self.reduce == "max" and self.normalization != "none":
             raise ModelError("max-reduction cannot be normalised")
+        if self.weighting not in WEIGHTINGS:
+            raise ModelError(f"unknown weighting {self.weighting!r}")
+        if self.weighting == "attention":
+            if self.reduce != "sum":
+                raise ModelError("attention requires sum-reduction")
+            if self.normalization != "none":
+                raise ModelError(
+                    "attention weights are already normalised; "
+                    "normalization must be 'none'")
+            if self.epsilon != 0.0:
+                raise ModelError(
+                    "epsilon self-scaling and attention are exclusive")
+        if self.epsilon != 0.0:
+            if self.reduce != "sum" or self.normalization != "none":
+                raise ModelError(
+                    "epsilon requires un-normalised sum-reduction")
+            if not self.include_self:
+                raise ModelError("epsilon requires include_self")
+        if not 0.0 <= self.leaky_slope < 1.0:
+            raise ModelError("leaky_slope must be in [0, 1)")
 
     @property
     def in_dim(self) -> int:
@@ -90,6 +141,11 @@ class AggregateStage:
     def kind(self) -> str:
         return "aggregate"
 
+    @property
+    def needs_features(self) -> bool:
+        """Whether the stage's weights depend on its input features."""
+        return self.weighting == "attention"
+
     # ------------------------------------------------------------------
     def _degree_hat(self, graph: Graph) -> np.ndarray:
         """Self-loop-augmented in-degree, d̂(v) = indeg(v) + 1."""
@@ -97,7 +153,12 @@ class AggregateStage:
 
     def edge_weights(self, graph: Graph) -> np.ndarray:
         """Per-edge Apply-unit multiplier ``w(u, v)``, aligned with
-        ``graph.src`` / ``graph.dst`` order."""
+        ``graph.src`` / ``graph.dst`` order. Static weightings only —
+        attention stages need features (use :meth:`compute_weights`)."""
+        if self.needs_features:
+            raise ModelError(
+                "attention edge weights depend on features; "
+                "call compute_weights(graph, features=..., attention=...)")
         if self.normalization == "none":
             return np.ones(graph.num_edges, dtype=np.float32)
         degree = self._degree_hat(graph)
@@ -108,15 +169,86 @@ class AggregateStage:
         return (inv_sqrt[graph.src] * inv_sqrt[graph.dst]).astype(np.float32)
 
     def self_weights(self, graph: Graph) -> np.ndarray | None:
-        """Per-node multiplier ``s(v)`` for the self term, or ``None``."""
+        """Per-node multiplier ``s(v)`` for the self term, or ``None``.
+        Static weightings only (see :meth:`edge_weights`)."""
+        if self.needs_features:
+            raise ModelError(
+                "attention self weights depend on features; "
+                "call compute_weights(graph, features=..., attention=...)")
         if not self.include_self:
             return None
-        degree = self._degree_hat(graph)
         if self.normalization == "none":
-            return np.ones(graph.num_nodes, dtype=np.float32)
+            return np.full(graph.num_nodes, 1.0 + self.epsilon,
+                           dtype=np.float32)
+        degree = self._degree_hat(graph)
         if self.normalization == "mean":
             return (1.0 / degree).astype(np.float32)
         return (1.0 / degree).astype(np.float32)  # "sym": 1/d̂(v)
+
+    def compute_weights(
+            self, graph: Graph, features: np.ndarray | None = None,
+            attention: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """``(edge_weights, self_weights)`` for any weighting form.
+
+        Static stages ignore ``features`` / ``attention``; attention
+        stages require both — ``features`` is the ``(N, dim)`` input to
+        the stage, ``attention`` the learned ``(a_src, a_dst)`` vectors.
+        """
+        if not self.needs_features:
+            return self.edge_weights(graph), self.self_weights(graph)
+        if features is None or attention is None:
+            raise ModelError(
+                "attention weights need the stage input features and "
+                "the (a_src, a_dst) attention vectors")
+        return self._attention_weights(graph, features, attention)
+
+    def _attention_weights(
+            self, graph: Graph, features: np.ndarray,
+            attention: tuple[np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Softmax attention coefficients over each node's in-edges.
+
+        The softmax group of node ``v`` is its incoming edges plus the
+        ``(v, v)`` self pair when ``include_self`` — so explicit
+        self-loops in the graph are never needed. Computed in float64
+        with per-destination max subtraction for numerical stability.
+        """
+        if features.shape != (graph.num_nodes, self.dim):
+            raise ModelError(
+                f"attention expected features of shape "
+                f"{(graph.num_nodes, self.dim)}, got "
+                f"{tuple(features.shape)}")
+        a_src, a_dst = (np.asarray(a, dtype=np.float64) for a in attention)
+        if a_src.shape != (self.dim,) or a_dst.shape != (self.dim,):
+            raise ModelError(
+                f"attention vectors must have shape ({self.dim},), got "
+                f"{tuple(a_src.shape)} and {tuple(a_dst.shape)}")
+        h = features.astype(np.float64)
+        score_src = h @ a_src  # a_src · h[u], per node
+        score_dst = h @ a_dst  # a_dst · h[v], per node
+        edge_logits = leaky_relu(
+            score_src[graph.src] + score_dst[graph.dst], self.leaky_slope)
+        self_logits = (leaky_relu(score_src + score_dst, self.leaky_slope)
+                       if self.include_self else None)
+        # Per-destination max, for the numerically stable softmax.
+        peak = np.full(graph.num_nodes, -np.inf)
+        np.maximum.at(peak, graph.dst, edge_logits)
+        if self_logits is not None:
+            peak = np.maximum(peak, self_logits)
+        peak = np.where(np.isneginf(peak), 0.0, peak)  # isolated nodes
+        exp_edge = np.exp(edge_logits - peak[graph.dst])
+        denom = np.zeros(graph.num_nodes)
+        np.add.at(denom, graph.dst, exp_edge)
+        exp_self = None
+        if self_logits is not None:
+            exp_self = np.exp(self_logits - peak)
+            denom = denom + exp_self
+        denom = np.where(denom == 0.0, 1.0, denom)  # no in-edges, no self
+        edge_w = (exp_edge / denom[graph.dst]).astype(np.float32)
+        self_w = (None if exp_self is None
+                  else (exp_self / denom).astype(np.float32))
+        return edge_w, self_w
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,7 @@ from repro.config.accelerator import ConfigError
 from repro.config.workload import (
     DST_STATIONARY,
     FIG3_DATASETS,
+    FIG3_NETWORKS,
     FIG4_BLOCKS,
     FIG5_HIDDEN_DIMS,
     SRC_STATIONARY,
@@ -27,6 +28,7 @@ from repro.config.workload import (
     fig3_workloads,
     fig4_workloads,
 )
+from repro.models.zoo import NETWORK_NAMES
 
 #: Platforms a point can target.
 PLATFORMS = ("gnnerator", "gpu", "hygcn")
@@ -167,11 +169,27 @@ class SweepPlan:
 # ---------------------------------------------------------------------
 # Plan factories — one per paper artefact grid
 # ---------------------------------------------------------------------
-def fig3_plan(feature_block: int | None = 64) -> SweepPlan:
-    """Fig 3: nine workloads x {GPU, GNNerator, GNNerator w/o blocking,
-    HyGCN}."""
+def _check_networks(networks: tuple[str, ...]) -> tuple[str, ...]:
+    """Validate network names eagerly (plan time, not worker time)."""
+    networks = tuple(networks)
+    if not networks:
+        raise SweepPlanError("networks cannot be empty")
+    unknown = [name for name in networks if name not in NETWORK_NAMES]
+    if unknown:
+        raise SweepPlanError(
+            f"unknown networks {unknown}; known networks: "
+            f"{', '.join(NETWORK_NAMES)}")
+    return networks
+
+
+def fig3_plan(feature_block: int | None = 64,
+              networks: tuple[str, ...] = FIG3_NETWORKS) -> SweepPlan:
+    """Fig 3: (datasets x networks) workloads x {GPU, GNNerator,
+    GNNerator w/o blocking, HyGCN}. ``networks`` defaults to the paper's
+    Table III trio; pass e.g. ``("gat",)`` for the same grid over a zoo
+    extension."""
     points: list[SweepPoint] = []
-    for spec in fig3_workloads(feature_block):
+    for spec in fig3_workloads(feature_block, _check_networks(networks)):
         points.append(point_for(spec, "gpu"))
         points.append(point_for(spec, "gnnerator"))
         points.append(point_for(spec.with_block(None), "gnnerator"))
@@ -255,8 +273,17 @@ def smoke_plan() -> SweepPlan:
 PLAN_NAMES = ("fig3", "fig4", "fig5", "table1", "table5", "smoke", "all")
 
 
-def build_plan(name: str, seed: int = 0) -> SweepPlan:
-    """Resolve a plan by CLI name (``all`` merges every latency grid)."""
+def build_plan(name: str, seed: int = 0,
+               networks: tuple[str, ...] | None = None) -> SweepPlan:
+    """Resolve a plan by CLI name (``all`` merges every latency grid).
+
+    ``networks`` restricts / redirects the Fig-3-style grid to the given
+    zoo networks (``repro sweep --network gat``); only the ``fig3`` plan
+    supports it.
+    """
+    if networks is not None and name != "fig3":
+        raise SweepPlanError(
+            f"--network applies to the fig3 grid only, not {name!r}")
     factories = {
         "fig3": fig3_plan,
         "fig4": fig4_plan,
@@ -268,6 +295,8 @@ def build_plan(name: str, seed: int = 0) -> SweepPlan:
     if name == "all":
         plan = SweepPlan.merged("all", fig3_plan(), fig4_plan(),
                                 fig5_plan(), table5_plan(), table1_plan())
+    elif name == "fig3" and networks is not None:
+        plan = fig3_plan(networks=networks)
     elif name in factories:
         plan = factories[name]()
     else:

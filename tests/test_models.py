@@ -74,6 +74,107 @@ class TestAggregateStage:
         assert stage.self_weights(simple_graph()) is None
 
 
+class TestEpsilonSelfScale:
+    def test_epsilon_scales_self_weight(self):
+        g = simple_graph()
+        stage = AggregateStage(dim=4, epsilon=0.25)
+        np.testing.assert_allclose(stage.self_weights(g), 1.25)
+        assert (stage.edge_weights(g) == 1.0).all()  # edges unaffected
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, epsilon=0.1, normalization="mean")
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, epsilon=0.1, reduce="max")
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, epsilon=0.1, include_self=False)
+
+
+class TestAttentionWeights:
+    def _attention(self, dim=4, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(dim), rng.standard_normal(dim)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, weighting="softmax")
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, weighting="attention", reduce="max")
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, weighting="attention",
+                           normalization="sym")
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, weighting="attention", epsilon=0.5)
+        with pytest.raises(ModelError):
+            AggregateStage(dim=4, leaky_slope=1.5)
+
+    def test_static_accessors_refuse_attention(self):
+        stage = AggregateStage(dim=4, weighting="attention")
+        with pytest.raises(ModelError, match="features"):
+            stage.edge_weights(simple_graph())
+        with pytest.raises(ModelError, match="features"):
+            stage.self_weights(simple_graph())
+        with pytest.raises(ModelError, match="features"):
+            stage.compute_weights(simple_graph())
+
+    def test_softmax_normalised_per_destination(self):
+        g = simple_graph()
+        stage = AggregateStage(dim=4, weighting="attention")
+        edge_w, self_w = stage.compute_weights(
+            g, features=g.features, attention=self._attention())
+        totals = np.zeros(g.num_nodes)
+        np.add.at(totals, g.dst, edge_w.astype(np.float64))
+        totals += self_w
+        np.testing.assert_allclose(totals, 1.0, atol=1e-6)
+        assert (edge_w > 0).all() and (self_w > 0).all()
+
+    def test_isolated_node_without_self(self):
+        # Node 1 has no in-edges; without a self term its softmax group
+        # is empty and it simply receives nothing (weight bookkeeping
+        # must not divide by zero).
+        g = simple_graph()
+        stage = AggregateStage(dim=4, weighting="attention",
+                               include_self=False)
+        edge_w, self_w = stage.compute_weights(
+            g, features=g.features, attention=self._attention())
+        assert self_w is None
+        assert np.isfinite(edge_w).all()
+        totals = np.zeros(g.num_nodes)
+        np.add.at(totals, g.dst, edge_w.astype(np.float64))
+        np.testing.assert_allclose(totals[[0, 2]], 1.0, atol=1e-6)
+        assert totals[1] == 0.0
+
+    def test_extreme_logits_stay_finite(self):
+        # Softmax stability: huge feature magnitudes must not overflow.
+        g = simple_graph()
+        g.features = g.features * 1e4
+        stage = AggregateStage(dim=4, weighting="attention")
+        edge_w, self_w = stage.compute_weights(
+            g, features=g.features, attention=self._attention())
+        assert np.isfinite(edge_w).all() and np.isfinite(self_w).all()
+
+    def test_shape_mismatch_errors(self):
+        g = simple_graph()
+        stage = AggregateStage(dim=4, weighting="attention")
+        with pytest.raises(ModelError, match="shape"):
+            stage.compute_weights(g, features=g.features[:, :2],
+                                  attention=self._attention())
+        with pytest.raises(ModelError, match="attention vectors"):
+            stage.compute_weights(g, features=g.features,
+                                  attention=self._attention(dim=3))
+
+    def test_init_parameters_creates_attention_vectors(self):
+        model = build_network("gat", 6, 3, hidden_dim=5)
+        params = init_parameters(model, seed=4)
+        # One attention pair per layer (stage 1 of each GAT layer).
+        assert params.attention_keys() == [(0, 1), (1, 1)]
+        a_src, a_dst = params.attention(0, 1)
+        assert a_src.shape == (5,) and a_dst.shape == (5,)
+        with pytest.raises(ModelError, match="attention"):
+            params.attention(0, 0)
+        assert params.total_bytes > 0
+
+
 class TestExtractStage:
     def test_weight_shape_plain(self):
         stage = ExtractStage(in_dim=8, out_dim=3)
@@ -142,7 +243,8 @@ class TestLayersAndModels:
 
 
 class TestZoo:
-    @pytest.mark.parametrize("name", ["gcn", "graphsage", "graphsage-pool"])
+    @pytest.mark.parametrize(
+        "name", ["gcn", "graphsage", "graphsage-pool", "gat", "gin"])
     def test_build_network_dims(self, name):
         model = build_network(name, 32, 5, hidden_dim=16)
         assert model.num_layers == 2
@@ -169,7 +271,8 @@ class TestZoo:
     def test_network_table(self):
         rows = network_table()
         assert [r["Network"] for r in rows] == [
-            "GCN", "Graphsage", "GraphsagePool"]
+            "GCN", "Graphsage", "GraphsagePool",
+            "GAT (extension)", "GIN (extension)"]
 
 
 class TestLayerPrimitives:

@@ -25,6 +25,12 @@ from repro.graph.traversal import (
 )
 from repro.models.layers import init_parameters
 from repro.models.reference import reference_forward
+from repro.models.stages import (
+    AggregateStage,
+    ExtractStage,
+    GNNLayer,
+    GNNModel,
+)
 from repro.models.zoo import build_network
 from tests.conftest import make_tiny_config
 
@@ -115,12 +121,99 @@ class TestBlockPlanProperties:
         assert cursor == dim
 
 
+@st.composite
+def random_aggregate_stages(draw, dim: int) -> AggregateStage:
+    """Any aggregation form the stage IR supports, including the
+    computed-weight (attention) and ε-scaled-self (GIN) extensions."""
+    form = draw(st.sampled_from(
+        ["plain", "mean", "sym", "max", "attention", "epsilon"]))
+    include_self = draw(st.booleans())
+    if form == "mean":
+        return AggregateStage(dim=dim, reduce="sum", normalization="mean",
+                              include_self=include_self)
+    if form == "sym":
+        return AggregateStage(dim=dim, reduce="sum", normalization="sym",
+                              include_self=include_self)
+    if form == "max":
+        return AggregateStage(dim=dim, reduce="max",
+                              include_self=include_self)
+    if form == "attention":
+        slope = draw(st.sampled_from([0.0, 0.2, 0.5]))
+        return AggregateStage(dim=dim, weighting="attention",
+                              include_self=include_self,
+                              leaky_slope=slope)
+    if form == "epsilon":
+        epsilon = draw(st.floats(min_value=-0.9, max_value=2.0,
+                                 allow_nan=False, allow_infinity=False))
+        return AggregateStage(dim=dim, epsilon=epsilon, include_self=True)
+    return AggregateStage(dim=dim, reduce="sum",
+                          include_self=include_self)
+
+
+@st.composite
+def random_models(draw) -> GNNModel:
+    """Random stage orders / dims / aggregation forms, always dim-valid.
+
+    Patterns cover both producer orders and multi-extract pipelines:
+    A=aggregate, E=extract; ``AE`` (GCN-like), ``EA`` (GAT-like),
+    ``EAE`` (pool-like, optionally with concat), ``AEE`` (GIN-like).
+    """
+    in_dim = draw(st.integers(min_value=1, max_value=10))
+    num_layers = draw(st.integers(min_value=1, max_value=2))
+    layers = []
+    current = in_dim
+    for layer_index in range(num_layers):
+        pattern = draw(st.sampled_from(["AE", "EA", "EAE", "AEE"]))
+        out_dim = draw(st.integers(min_value=1, max_value=10))
+        mid = draw(st.integers(min_value=1, max_value=10))
+        activation = draw(st.sampled_from(["relu", "sigmoid", "none"]))
+        concat = draw(st.booleans())
+        name = f"rand-l{layer_index}"
+        stages: list
+        if pattern == "AE":
+            stages = [
+                draw(random_aggregate_stages(current)),
+                ExtractStage(in_dim=current, out_dim=out_dim,
+                             activation=activation, concat_self=concat,
+                             self_dim=current if concat else 0,
+                             name=f"{name}-e0"),
+            ]
+        elif pattern == "EA":
+            stages = [
+                ExtractStage(in_dim=current, out_dim=out_dim,
+                             activation=activation, name=f"{name}-e0"),
+                draw(random_aggregate_stages(out_dim)),
+            ]
+        elif pattern == "EAE":
+            stages = [
+                ExtractStage(in_dim=current, out_dim=mid,
+                             activation="relu", name=f"{name}-e0"),
+                draw(random_aggregate_stages(mid)),
+                ExtractStage(in_dim=mid, out_dim=out_dim,
+                             activation=activation, concat_self=concat,
+                             self_dim=current if concat else 0,
+                             name=f"{name}-e1"),
+            ]
+        else:  # "AEE"
+            stages = [
+                draw(random_aggregate_stages(current)),
+                ExtractStage(in_dim=current, out_dim=mid,
+                             activation="relu", name=f"{name}-e0"),
+                ExtractStage(in_dim=mid, out_dim=out_dim,
+                             activation=activation, name=f"{name}-e1"),
+            ]
+        layers.append(GNNLayer(name=name, stages=tuple(stages)))
+        current = out_dim
+    return GNNModel(name="random-model", layers=tuple(layers))
+
+
 class TestFunctionalEquivalenceProperty:
     """The big one: random workload -> compiled == reference."""
 
     @SLOW
     @given(graph=random_graphs(),
-           network=st.sampled_from(["gcn", "graphsage", "graphsage-pool"]),
+           network=st.sampled_from(
+               ["gcn", "graphsage", "graphsage-pool", "gat", "gin"]),
            block=st.one_of(st.none(), st.integers(min_value=1,
                                                   max_value=16)),
            traversal=st.sampled_from([SRC_STATIONARY, DST_STATIONARY]),
@@ -136,6 +229,50 @@ class TestFunctionalEquivalenceProperty:
         validate_program(program)
         expected = reference_forward(model, graph, params)
         actual = run_functional(program, graph)
+        np.testing.assert_allclose(actual, expected, rtol=2e-3, atol=1e-3)
+
+
+class TestRandomModelProperties:
+    """Random *models* (not just zoo networks): lowering round-trips and
+    shape invariants hold for any dim-valid stage pipeline."""
+
+    @SLOW
+    @given(graph=random_graphs(),
+           model_seed=st.integers(min_value=0, max_value=2 ** 16),
+           block=st.one_of(st.none(), st.integers(min_value=1,
+                                                  max_value=16)),
+           traversal=st.sampled_from([SRC_STATIONARY, DST_STATIONARY]),
+           data=st.data())
+    def test_lowering_round_trips(self, graph, model_seed, block,
+                                  traversal, data):
+        model = data.draw(random_models())
+        if model.in_dim != graph.feature_dim:
+            rng = np.random.default_rng(model_seed)
+            graph.features = rng.standard_normal(
+                (graph.num_nodes, model.in_dim)).astype(np.float32)
+        params = init_parameters(model, seed=model_seed % 100)
+        program = compile_workload(graph, model, make_tiny_config(block),
+                                   params=params, traversal=traversal,
+                                   feature_block=block)
+        validate_program(program)
+        # Round-trip: the program carries the model and per-stage
+        # weights of the right shapes.
+        assert program.model is model
+        for (layer, stage), weights in program.edge_weights.items():
+            assert weights.shape == (graph.num_edges,)
+            stage_obj = model.layers[layer].stages[stage]
+            self_w = program.self_weights[(layer, stage)]
+            if stage_obj.include_self:
+                assert self_w.shape == (graph.num_nodes,)
+            else:
+                assert self_w is None
+        # Shape invariants: every declared array is (N, dim>0) and the
+        # output matches the model's out_dim.
+        assert all(dim > 0 for dim in program.arrays.values())
+        assert program.arrays[program.output_array] == model.out_dim
+        expected = reference_forward(model, graph, params)
+        actual = run_functional(program, graph)
+        assert actual.shape == (graph.num_nodes, model.out_dim)
         np.testing.assert_allclose(actual, expected, rtol=2e-3, atol=1e-3)
 
 

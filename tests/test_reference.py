@@ -87,6 +87,18 @@ class TestAggregateReference:
         with pytest.raises(ModelError):
             aggregate_reference(stage, g, g.features)
 
+    def test_shape_error_states_expected_and_got(self):
+        """The message must carry both full shapes — a truncated
+        "got ..." report turns a one-glance fix into a debug session."""
+        g = line_graph()
+        stage = AggregateStage(dim=5)
+        with pytest.raises(ModelError) as excinfo:
+            aggregate_reference(stage, g, g.features)
+        message = str(excinfo.value)
+        assert "(3, 5)" in message      # expected (num_nodes, stage dim)
+        assert "(3, 2)" in message      # the full shape actually passed
+        assert "expected" in message and "got" in message
+
     def test_empty_graph_sum(self):
         g = Graph(3, [], [])
         g.features = np.ones((3, 2), dtype=np.float32)
@@ -139,6 +151,17 @@ class TestReferenceForward:
         with pytest.raises(ModelError):
             reference_forward(model, small_graph,
                               init_parameters(model))
+
+    def test_input_dim_error_states_expected_and_got(self, small_graph):
+        model = build_network("gcn", 99, 4)
+        with pytest.raises(ModelError) as excinfo:
+            reference_forward(model, small_graph, init_parameters(model))
+        message = str(excinfo.value)
+        assert f"({small_graph.num_nodes}, 99)" in message  # expected
+        assert f"({small_graph.num_nodes}, " \
+               f"{small_graph.feature_dim})" in message     # got, in full
+        assert "expected" in message or "expects" in message
+        assert "got" in message
 
     def test_explicit_features_override(self, small_graph):
         model = build_network("gcn", 8, 4)

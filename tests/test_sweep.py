@@ -372,6 +372,6 @@ class TestSweepCli:
         faulty = SweepPlan("faulty", (
             SweepPoint(dataset="no-such-dataset", network="gcn"),))
         monkeypatch.setattr("repro.cli.build_plan",
-                            lambda name, seed=0: faulty)
+                            lambda name, seed=0, networks=None: faulty)
         assert main(["sweep", "smoke", "--no-cache"]) == 1
         assert "error" in capsys.readouterr().out
