@@ -10,6 +10,8 @@ Usage::
     gnnerator configs         # Tables II, III, IV
     gnnerator run cora gcn    # one workload with full statistics
     gnnerator sweep fig3 --jobs 4   # parallel, cached sweep engine
+    gnnerator dse --strategy random --budget-area 20 \
+        --networks gcn --datasets tiny   # design-space exploration
 
 (or ``python -m repro ...``)
 """
@@ -32,6 +34,7 @@ from repro.eval.experiments import (
 )
 from repro.eval.harness import Harness
 from repro.eval.report import (
+    area_energy_table,
     format_table,
     render_fig3,
     render_fig4,
@@ -40,7 +43,7 @@ from repro.eval.report import (
     render_table1,
     render_table5,
 )
-from repro.graph.datasets import dataset_table
+from repro.graph.datasets import DATASETS, dataset_table
 from repro.models.zoo import NETWORK_NAMES, network_table
 from repro.sweep import (
     PLAN_NAMES,
@@ -49,6 +52,8 @@ from repro.sweep import (
     SweepRunner,
     build_plan,
 )
+
+DATASET_NAMES = tuple(DATASETS)
 
 
 def _cmd_fig3(args: argparse.Namespace) -> str:
@@ -80,6 +85,9 @@ def _cmd_configs(_: argparse.Namespace) -> str:
                      title="Table III — graph neural networks"),
         format_table(platform_table(),
                      title="Table IV — compute platforms"),
+        format_table(area_energy_table(),
+                     title="Derived models — silicon area and energy "
+                           "(the DSE objectives)"),
     ]
     return "\n\n".join(parts)
 
@@ -135,6 +143,78 @@ def _positive_int(value: str) -> int:
     return jobs
 
 
+def _knob_value(text: str) -> float:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _cmd_dse(args: argparse.Namespace) -> str:
+    from repro.dse import (
+        SPACE_PRESETS,
+        Budget,
+        DseEngine,
+        build_strategy,
+        dse_csv,
+        render_dse,
+    )
+
+    space = SPACE_PRESETS[args.space]()
+    for spec in args.knob or []:
+        path, sep, values = spec.partition("=")
+        try:
+            if not sep or not values:
+                raise ValueError
+            ladder = tuple(_knob_value(v) for v in values.split(","))
+        except ValueError:
+            raise SystemExit(
+                f"--knob expects PATH=V1[,V2,...] with numeric values, "
+                f"got {spec!r}") from None
+        space = space.with_knob(path, ladder)
+    from repro.config.accelerator import ConfigError
+
+    strategy = build_strategy(
+        args.strategy, samples=args.samples, population=args.population,
+        generations=args.generations, seed=args.seed,
+        max_candidates=args.max_candidates)
+    networks = tuple(args.networks or ("gcn",))
+    datasets = tuple(args.datasets or ("tiny",))
+    workloads = [WorkloadSpec(dataset=dataset, network=network,
+                              hidden_dim=args.hidden_dim)
+                 for dataset in datasets for network in networks]
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    engine = DseEngine(space, strategy, workloads, runner,
+                       budget=Budget(area_mm2=args.budget_area,
+                                     power_w=args.budget_power),
+                       seed=args.seed)
+    try:
+        result = engine.run()
+    except ConfigError as exc:
+        # Space-level refusals (e.g. a grid over --max-candidates)
+        # are expected user errors, not tracebacks. Per-candidate
+        # ConfigErrors never reach here — they become 'invalid' rows.
+        raise SystemExit(f"dse: {exc}") from None
+    if args.fig5_check:
+        engine.check_fig5(result)
+    # An empty frontier means the search produced nothing usable —
+    # surface that through the exit code for scripts and CI.
+    args.exit_code = 0 if result.frontier else 1
+    if args.format == "json":
+        text = result.to_json()
+    elif args.format == "csv":
+        text = dse_csv(result).rstrip("\n")
+    else:
+        text = render_dse(result)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        text = f"{result.summary()} -> {args.output}"
+    return text
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.sim.trace import Tracer, render_gantt
 
@@ -185,7 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
                      ("table5", _cmd_table5), ("configs", _cmd_configs)):
         sub.add_parser(name).set_defaults(handler=fn)
     run = sub.add_parser("run", help="simulate one workload")
-    run.add_argument("dataset", choices=("cora", "citeseer", "pubmed"))
+    run.add_argument("dataset", choices=DATASET_NAMES)
     run.add_argument("network", choices=NETWORK_NAMES)
     run.add_argument("--block", type=int, default=64,
                      help="feature block size B (default 64)")
@@ -217,17 +297,68 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(handler=_cmd_sweep)
     trace = sub.add_parser("trace",
                            help="render a pipeline Gantt chart")
-    trace.add_argument("dataset", choices=("cora", "citeseer", "pubmed"))
+    trace.add_argument("dataset", choices=DATASET_NAMES)
     trace.add_argument("network", choices=NETWORK_NAMES)
     trace.set_defaults(handler=_cmd_trace)
     bottleneck = sub.add_parser(
         "bottleneck",
         help="which resource binds, across hidden dimensions (Fig 5's "
              "reasoning)")
-    bottleneck.add_argument("dataset",
-                            choices=("cora", "citeseer", "pubmed"))
+    bottleneck.add_argument("dataset", choices=DATASET_NAMES)
     bottleneck.add_argument("network", choices=NETWORK_NAMES)
     bottleneck.set_defaults(handler=_cmd_bottleneck)
+    dse = sub.add_parser(
+        "dse",
+        help="search the accelerator design space, report the Pareto "
+             "frontier (latency / area / energy)")
+    dse.add_argument("--strategy",
+                     choices=("grid", "random", "evolutionary"),
+                     default="random", help="search strategy")
+    dse.add_argument("--networks", action="append",
+                     choices=NETWORK_NAMES, metavar="NETWORK",
+                     help="workload networks (repeatable; default gcn)")
+    dse.add_argument("--datasets", action="append",
+                     choices=DATASET_NAMES, metavar="DATASET",
+                     help="workload datasets (repeatable; default tiny)")
+    dse.add_argument("--hidden-dim", type=_positive_int, default=16)
+    dse.add_argument("--space", choices=("default", "small"),
+                     default="default", help="design-space preset")
+    dse.add_argument("--knob", action="append", metavar="PATH=V1,V2",
+                     help="override one knob's value ladder, e.g. "
+                          "--knob dense.rows=32,64 (repeatable)")
+    dse.add_argument("--samples", type=_positive_int, default=16,
+                     help="random-strategy sample count (default 16)")
+    dse.add_argument("--population", type=_positive_int, default=8,
+                     help="evolutionary population size (default 8)")
+    dse.add_argument("--generations", type=_positive_int, default=4,
+                     help="evolutionary generations (default 4)")
+    dse.add_argument("--max-candidates", type=_positive_int,
+                     default=4096,
+                     help="refuse grid searches larger than this "
+                          "(default 4096)")
+    dse.add_argument("--budget-area", type=float, default=None,
+                     metavar="MM2", help="max silicon area in mm^2")
+    dse.add_argument("--budget-power", type=float, default=None,
+                     metavar="W", help="max average power in watts")
+    dse.add_argument("--fig5-check", action="store_true",
+                     help="also evaluate the paper's Fig 5 hand-picked "
+                          "variants against the discovered frontier")
+    dse.add_argument("--seed", type=int, default=0,
+                     help="search + parameter seed (default 0); equal "
+                          "seeds give bit-identical frontiers at any "
+                          "--jobs level")
+    dse.add_argument("--jobs", type=_positive_int, default=1,
+                     help="worker processes (default 1 = in-process)")
+    dse.add_argument("--cache-dir", default=".sweep-cache",
+                     help="persistent result cache directory "
+                          "(default .sweep-cache, shared with sweep)")
+    dse.add_argument("--no-cache", action="store_true",
+                     help="recompute every point; touch no cache files")
+    dse.add_argument("--format", choices=("table", "json", "csv"),
+                     default="table", help="output format")
+    dse.add_argument("--output", "-o",
+                     help="write output to this file instead of stdout")
+    dse.set_defaults(handler=_cmd_dse)
     return parser
 
 

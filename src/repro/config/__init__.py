@@ -11,6 +11,12 @@ from repro.config.accelerator import (
     GNNeratorConfig,
     GraphEngineConfig,
 )
+from repro.config.overrides import (
+    apply_overrides,
+    freeze_overrides,
+    knob_paths,
+    overrides_between,
+)
 from repro.config.platforms import (
     GpuConfig,
     HyGCNConfig,
@@ -41,6 +47,10 @@ __all__ = [
     "DramConfig",
     "GNNeratorConfig",
     "GraphEngineConfig",
+    "apply_overrides",
+    "freeze_overrides",
+    "knob_paths",
+    "overrides_between",
     "GpuConfig",
     "HyGCNConfig",
     "gnnerator_config",

@@ -63,10 +63,15 @@ class DenseEngineConfig:
             raise ConfigError("systolic array dimensions must be positive")
         if self.dataflow not in ("os", "ws", "auto"):
             raise ConfigError(f"unknown dense dataflow {self.dataflow!r}")
+        if self.frequency_ghz <= 0:
+            raise ConfigError("dense frequency_ghz must be positive")
         for name in ("input_buffer_bytes", "weight_buffer_bytes",
                      "output_buffer_bytes"):
-            if getattr(self, name) <= 0:
-                raise ConfigError(f"{name} must be positive")
+            if getattr(self, name) < 2 * ELEM_BYTES:
+                raise ConfigError(
+                    f"dense {name} of {getattr(self, name)} B cannot "
+                    f"double-buffer even one fp32 element "
+                    f"(needs >= {2 * ELEM_BYTES} B)")
 
     @property
     def macs(self) -> int:
@@ -119,10 +124,21 @@ class GraphEngineConfig:
     def __post_init__(self) -> None:
         if self.num_gpes <= 0 or self.simd_width <= 0:
             raise ConfigError("GPE and SIMD dimensions must be positive")
-        for name in ("src_feature_buffer_bytes", "dst_feature_buffer_bytes",
-                     "edge_buffer_bytes"):
-            if getattr(self, name) <= 0:
-                raise ConfigError(f"{name} must be positive")
+        if self.frequency_ghz <= 0:
+            raise ConfigError("graph frequency_ghz must be positive")
+        if self.pipeline_depth < 0:
+            raise ConfigError("pipeline_depth cannot be negative")
+        # A zero-sized *half* deadlocks shard planning even when the
+        # whole buffer is nominally positive, so validate the split the
+        # double-buffered datapath actually sees.
+        for name, grain in (("src_feature_buffer_bytes", ELEM_BYTES),
+                            ("dst_feature_buffer_bytes", ELEM_BYTES),
+                            ("edge_buffer_bytes", EDGE_BYTES)):
+            if getattr(self, name) < 2 * grain:
+                raise ConfigError(
+                    f"graph {name} of {getattr(self, name)} B cannot "
+                    f"double-buffer even one record "
+                    f"(needs >= {2 * grain} B)")
 
     @property
     def lanes(self) -> int:
@@ -181,9 +197,13 @@ class DramConfig:
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_per_s <= 0:
-            raise ConfigError("bandwidth must be positive")
+            raise ConfigError(
+                f"DRAM bandwidth must be positive, got "
+                f"{self.bandwidth_bytes_per_s!r}")
         if self.burst_latency_cycles < 0:
             raise ConfigError("burst latency cannot be negative")
+        if self.frequency_ghz <= 0:
+            raise ConfigError("DRAM frequency_ghz must be positive")
 
     @property
     def bytes_per_cycle(self) -> float:
@@ -229,6 +249,21 @@ class GNNeratorConfig:
     def __post_init__(self) -> None:
         if self.feature_block is not None and self.feature_block <= 0:
             raise ConfigError("feature_block must be positive or None")
+        if self.feature_block is not None:
+            # Shard planning needs at least one node's block per
+            # scratchpad half; rejecting the mismatch here (with the
+            # numbers) beats a GraphError deep inside a sweep worker.
+            per_node = self.feature_block * ELEM_BYTES
+            for name, usable in (
+                    ("src_feature_buffer_bytes", self.graph.usable_src_bytes),
+                    ("dst_feature_buffer_bytes",
+                     self.graph.usable_dst_bytes)):
+                if per_node > usable:
+                    raise ConfigError(
+                        f"feature_block={self.feature_block} needs "
+                        f"{per_node} B per node but half of graph."
+                        f"{name} holds only {usable} B — shrink the "
+                        f"block or grow the buffer")
 
     @property
     def peak_flops(self) -> float:

@@ -1,0 +1,93 @@
+"""Design-space exploration: search accelerator configs, report
+Pareto frontiers.
+
+The paper's Fig 5 evaluates three hand-picked "next-generation"
+GNNerator variants; this package searches the surrounding hardware
+design space instead. A declarative :class:`DesignSpace` spans the
+config knobs (systolic array shape, GPE count, SIMD lanes, scratchpad
+sizes/splits, DRAM bandwidth, feature blocking); pluggable strategies
+(exhaustive grid, seeded random, mutation-based evolutionary) propose
+candidates; and the :class:`DseEngine` evaluates every candidate on
+latency, silicon area and energy through the parallel sweep scheduler
+and persistent result cache, reporting the Pareto frontier under
+user-supplied area/power budgets.
+
+Entry points::
+
+    from repro.dse import (DseEngine, Budget, RandomSearch,
+                           default_design_space)
+    from repro.sweep import SweepRunner, ResultCache
+    from repro.config.workload import WorkloadSpec
+
+    engine = DseEngine(
+        default_design_space(), RandomSearch(samples=32, seed=0),
+        [WorkloadSpec(dataset="tiny", network="gcn")],
+        SweepRunner(jobs=4, cache=ResultCache(".sweep-cache")),
+        budget=Budget(area_mm2=20.0))
+    result = engine.run()
+    print(result.summary())
+
+or from the command line: ``python -m repro dse --strategy random
+--budget-area 20 --networks gcn --datasets tiny``.
+"""
+
+from repro.dse.engine import (
+    Budget,
+    DseEngine,
+    DseError,
+    DseEvaluation,
+    DseResult,
+    Fig5Check,
+    candidate_label,
+)
+from repro.dse.pareto import (
+    dominated_count,
+    dominates,
+    pareto_front,
+    pareto_indices,
+)
+from repro.dse.report import dse_csv, render_dse
+from repro.dse.space import (
+    SPACE_PRESETS,
+    DesignSpace,
+    Knob,
+    default_design_space,
+    small_design_space,
+)
+from repro.dse.strategies import (
+    OBJECTIVE_KEYS,
+    STRATEGY_NAMES,
+    EvolutionarySearch,
+    GridSearch,
+    RandomSearch,
+    SearchStrategy,
+    build_strategy,
+)
+
+__all__ = [
+    "Budget",
+    "DseEngine",
+    "DseError",
+    "DseEvaluation",
+    "DseResult",
+    "Fig5Check",
+    "candidate_label",
+    "dominated_count",
+    "dominates",
+    "pareto_front",
+    "pareto_indices",
+    "dse_csv",
+    "render_dse",
+    "SPACE_PRESETS",
+    "DesignSpace",
+    "Knob",
+    "default_design_space",
+    "small_design_space",
+    "OBJECTIVE_KEYS",
+    "STRATEGY_NAMES",
+    "EvolutionarySearch",
+    "GridSearch",
+    "RandomSearch",
+    "SearchStrategy",
+    "build_strategy",
+]

@@ -1,0 +1,54 @@
+"""Multi-objective dominance and Pareto-frontier extraction.
+
+All objectives are minimised. A vector ``a`` *dominates* ``b`` when it
+is no worse on every objective and strictly better on at least one;
+the Pareto frontier of a set is every point no other point dominates.
+Exact duplicates do not dominate each other, so tied designs all stay
+on the frontier — the report layer decides how to present ties.
+
+The O(n²) sweep is deliberate: DSE evaluates hundreds to a few
+thousand candidates through a discrete-event simulator, so frontier
+extraction is never the bottleneck and the simple form is the one
+worth keeping obviously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` dominates ``b`` (minimising every objective)."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    if not a:
+        raise ValueError("objective vectors cannot be empty")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    return no_worse and any(x < y for x, y in zip(a, b))
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated vectors, in input order.
+
+    Ties and exact duplicates are all kept (none dominates another);
+    a single point is trivially on the frontier; an empty input yields
+    an empty frontier.
+    """
+    frontier: list[int] = []
+    for i, candidate in enumerate(vectors):
+        if not any(dominates(other, candidate)
+                   for j, other in enumerate(vectors) if j != i):
+            frontier.append(i)
+    return frontier
+
+
+def pareto_front(vectors: Sequence[Sequence[float]]
+                 ) -> list[Sequence[float]]:
+    """The non-dominated vectors themselves, in input order."""
+    return [vectors[i] for i in pareto_indices(vectors)]
+
+
+def dominated_count(vectors: Sequence[Sequence[float]]) -> int:
+    """How many input vectors are dominated by at least one other."""
+    return len(vectors) - len(pareto_indices(vectors))

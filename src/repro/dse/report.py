@@ -1,0 +1,110 @@
+"""Plain-text / CSV rendering of design-space exploration results."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.dse.engine import DseResult
+from repro.eval.report import format_table
+
+
+def _knob_settings(overrides) -> str:
+    """Compact human-readable knob assignment for one candidate."""
+    if not overrides:
+        return "(baseline)"
+    parts = []
+    for path, value in overrides:
+        name = path.split(".")[-1].replace("_buffer_bytes", "")
+        if path.endswith("_buffer_bytes") and value >= 1 << 20:
+            parts.append(f"{name}={value / (1 << 20):g}MiB")
+        elif path.endswith("bandwidth_bytes_per_s"):
+            parts.append(f"{name.removesuffix('_bytes_per_s')}="
+                         f"{value / 1e9:g}GB/s")
+        else:
+            parts.append(f"{name}={value:g}")
+    return " ".join(parts)
+
+
+def _objective_row(label: str, evaluation) -> dict[str, str]:
+    objectives = evaluation.objectives
+    return {
+        "candidate": label,
+        "knobs": _knob_settings(evaluation.overrides),
+        "cycles": str(objectives["cycles"]),
+        "area mm^2": f"{objectives['area_mm2']:.1f}",
+        "energy uJ": f"{objectives['energy_pj'] * 1e-6:.1f}",
+        "power W": f"{objectives['avg_power_w']:.2f}",
+        "EDP nJ.s": f"{objectives['edp_js'] * 1e9:.3f}",
+        "cached": "yes" if evaluation.cached else "no",
+    }
+
+
+def render_dse(result: DseResult) -> str:
+    """Frontier table + Fig 5 reference check + run summary."""
+    parts = []
+    if result.frontier:
+        rows = [_objective_row(e.label, e) for e in result.frontier]
+        parts.append(format_table(
+            rows, title=f"DSE Pareto frontier — minimise "
+            f"(cycles, area, energy) over {', '.join(result.workloads)}"))
+    else:
+        parts.append("DSE Pareto frontier — empty (no feasible "
+                     "candidate; relax the budgets or widen the space)")
+    rejected = [e for e in result.evaluations if e.status == "invalid"]
+    if rejected:
+        rows = [{"candidate": e.label,
+                 "rejected because": (e.message or "").splitlines()[0]}
+                for e in rejected]
+        parts.append(format_table(rows, title="Invalid candidates"))
+    if result.fig5:
+        rows = []
+        for check in result.fig5:
+            if check.evaluation.ok:
+                row = _objective_row(check.name, check.evaluation)
+                row.pop("cached")
+                row["vs frontier"] = (
+                    f"dominated by {', '.join(check.dominated_by)}"
+                    if check.beaten else "undominated")
+            else:
+                row = {"candidate": check.name,
+                       "vs frontier": f"({check.evaluation.status})"}
+            rows.append(row)
+        parts.append(format_table(
+            rows, title="Fig 5 hand-picked designs vs discovered "
+            "frontier"))
+    parts.append(result.summary())
+    return "\n\n".join(parts)
+
+
+#: Flat column order of :func:`dse_csv`.
+CSV_FIELDS = ("label", "status", "feasible", "on_frontier", "cached",
+              "cycles", "area_mm2", "energy_pj", "seconds",
+              "avg_power_w", "edp_js", "overrides", "message")
+
+
+def dse_csv(result: DseResult) -> str:
+    """One row per evaluated candidate (frontier membership flagged)."""
+    frontier = {e.label for e in result.frontier}
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for evaluation in result.evaluations:
+        objectives = evaluation.objectives
+        writer.writerow({
+            "label": evaluation.label,
+            "status": evaluation.status,
+            "feasible": evaluation.feasible,
+            "on_frontier": evaluation.label in frontier,
+            "cached": evaluation.cached,
+            "cycles": objectives.get("cycles"),
+            "area_mm2": objectives.get("area_mm2"),
+            "energy_pj": objectives.get("energy_pj"),
+            "seconds": objectives.get("seconds"),
+            "avg_power_w": objectives.get("avg_power_w"),
+            "edp_js": objectives.get("edp_js"),
+            "overrides": _knob_settings(evaluation.overrides),
+            "message": ((evaluation.message or "").splitlines()
+                        or [""])[0],
+        })
+    return out.getvalue()

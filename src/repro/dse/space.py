@@ -1,0 +1,192 @@
+"""Declarative design spaces over GNNerator hardware knobs.
+
+A :class:`DesignSpace` is a tuple of named :class:`Knob` axes — each a
+dotted override path (see :mod:`repro.config.overrides`) with a finite
+value ladder — over a base :class:`GNNeratorConfig`. Candidates are
+override mappings assigning one value per knob; the space turns them
+into validated configs, enumerates the full grid, draws seeded random
+samples, and mutates a candidate one rung along one axis (the move
+operator of the evolutionary search).
+
+Validity is delegated to the config dataclasses: building a candidate
+runs every ``__post_init__`` check, so degenerate designs (zero-sized
+buffer splits, dead DRAM channels, feature blocks that overflow a
+scratchpad half) raise :class:`ConfigError` with a message naming the
+offending knob — the search records them as rejected and moves on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.config.accelerator import MIB, ConfigError, GNNeratorConfig
+from repro.config.overrides import (
+    FrozenOverrides,
+    apply_overrides,
+    freeze_overrides,
+    knob_paths,
+)
+from repro.config.platforms import gnnerator_config
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One design axis: an override path plus its candidate values."""
+
+    path: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigError(f"knob {self.path!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ConfigError(f"knob {self.path!r} has duplicate values")
+
+    def index_of(self, value: float) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ConfigError(
+                f"{value!r} is not a value of knob {self.path!r}; "
+                f"values: {self.values}") from None
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A finite grid of candidate GNNerator configurations."""
+
+    knobs: tuple[Knob, ...]
+    base: GNNeratorConfig = field(default_factory=gnnerator_config)
+
+    def __post_init__(self) -> None:
+        if not self.knobs:
+            raise ConfigError("design space needs at least one knob")
+        paths = [knob.path for knob in self.knobs]
+        if len(set(paths)) != len(paths):
+            raise ConfigError(f"duplicate knob paths: {paths}")
+        # Fail on unknown *paths* now, not at first candidate build —
+        # but leave value validation per candidate: a ladder may well
+        # contain values that are only invalid in some combinations.
+        known = knob_paths(self.base)
+        unknown = [path for path in paths if path not in known]
+        if unknown:
+            raise ConfigError(
+                f"unknown knob paths {unknown}; known paths: "
+                f"{', '.join(known)}")
+
+    @property
+    def size(self) -> int:
+        """Number of grid candidates (valid or not)."""
+        total = 1
+        for knob in self.knobs:
+            total *= len(knob.values)
+        return total
+
+    def knob(self, path: str) -> Knob:
+        for knob in self.knobs:
+            if knob.path == path:
+                return knob
+        raise ConfigError(
+            f"no knob {path!r}; knobs: "
+            f"{', '.join(k.path for k in self.knobs)}")
+
+    def with_knob(self, path: str,
+                  values: tuple[float, ...]) -> "DesignSpace":
+        """Replace (or add) one knob's value ladder."""
+        replaced = tuple(Knob(path, values) if knob.path == path else knob
+                         for knob in self.knobs)
+        if all(knob.path != path for knob in self.knobs):
+            replaced = replaced + (Knob(path, values),)
+        return DesignSpace(replaced, self.base)
+
+    # -- candidate construction ----------------------------------------
+    def config_for(self, overrides) -> GNNeratorConfig:
+        """Build (and validate) the candidate config; may raise
+        :class:`ConfigError` with the reason the design is degenerate."""
+        return apply_overrides(self.base, dict(overrides))
+
+    def freeze(self, overrides) -> FrozenOverrides:
+        return freeze_overrides(overrides)
+
+    # -- enumeration / sampling / mutation ------------------------------
+    def grid(self):
+        """Yield every candidate of the full cartesian grid."""
+        ladders = [knob.values for knob in self.knobs]
+        for combo in itertools.product(*ladders):
+            yield {knob.path: value
+                   for knob, value in zip(self.knobs, combo)}
+
+    def sample(self, rng: random.Random) -> dict[str, float]:
+        """One uniform random candidate."""
+        return {knob.path: rng.choice(knob.values) for knob in self.knobs}
+
+    def mutate(self, overrides, rng: random.Random) -> dict[str, float]:
+        """Move one knob a single rung up or down its value ladder.
+
+        Candidates at a ladder end move inward, so mutation always
+        changes exactly one knob — the hill-climb neighbourhood.
+        """
+        mutated = dict(overrides)
+        knob = self.knobs[rng.randrange(len(self.knobs))]
+        index = knob.index_of(mutated[knob.path])
+        if len(knob.values) == 1:
+            return mutated
+        step = rng.choice((-1, 1))
+        index = index + step
+        if index < 0:
+            index = 1
+        elif index >= len(knob.values):
+            index = len(knob.values) - 2
+        mutated[knob.path] = knob.values[index]
+        return mutated
+
+
+def default_design_space(base: GNNeratorConfig | None = None
+                         ) -> DesignSpace:
+    """The stock search space around the Table IV design.
+
+    Spans the knobs the paper's Fig 5 scaling study hand-picks —
+    systolic array shape, GPE count, SIMD lanes, scratchpad
+    sizes/splits, DRAM bandwidth and the feature-block factor — each
+    on a coarse ladder bracketing the baseline, so all three Fig 5
+    next-generation variants are interior points of the space.
+    """
+    if base is None:
+        base = gnnerator_config()
+    knobs = (
+        Knob("dense.rows", (32, 64, 128)),
+        Knob("dense.cols", (32, 64, 128)),
+        Knob("graph.num_gpes", (16, 32, 64)),
+        Knob("graph.simd_width", (16, 32, 64)),
+        Knob("graph.src_feature_buffer_bytes",
+             (6 * MIB, 11 * MIB, 22 * MIB)),
+        Knob("graph.dst_feature_buffer_bytes",
+             (6 * MIB, 11 * MIB, 22 * MIB)),
+        Knob("graph.edge_buffer_bytes", (1 * MIB, 2 * MIB, 4 * MIB)),
+        Knob("dense.weight_buffer_bytes", (1 * MIB, 2 * MIB, 4 * MIB)),
+        Knob("dram.bandwidth_bytes_per_s", (128e9, 256e9, 512e9)),
+        Knob("feature_block", (32, 64, 128)),
+    )
+    return DesignSpace(knobs, base)
+
+
+def small_design_space(base: GNNeratorConfig | None = None) -> DesignSpace:
+    """A 54-point space for exhaustive-grid runs and smoke tests."""
+    if base is None:
+        base = gnnerator_config()
+    knobs = (
+        Knob("dense.rows", (32, 64, 128)),
+        Knob("dense.cols", (32, 64, 128)),
+        Knob("graph.num_gpes", (16, 32, 64)),
+        Knob("dram.bandwidth_bytes_per_s", (128e9, 256e9)),
+    )
+    return DesignSpace(knobs, base)
+
+
+#: Space presets selectable from the CLI.
+SPACE_PRESETS = {
+    "default": default_design_space,
+    "small": small_design_space,
+}

@@ -1,0 +1,162 @@
+"""Pluggable search strategies for design-space exploration.
+
+A strategy proposes batches of candidate overrides; the engine
+evaluates each batch (through the parallel sweep scheduler and the
+persistent result cache) and feeds the outcomes back for the next
+round. Three strategies ship:
+
+* :class:`GridSearch` — the exhaustive cartesian grid, one batch;
+* :class:`RandomSearch` — ``samples`` seeded uniform draws, one batch;
+* :class:`EvolutionarySearch` — a mutation-based (μ+λ) hill-climb:
+  every generation mutates the current Pareto-optimal survivors one
+  knob-rung each and re-evaluates.
+
+Determinism contract (the same one the sweep engine guarantees): all
+randomness derives from the explicit ``seed`` plus the generation
+index, and parents are sorted canonically before mutation — so a
+search is bit-identical across reruns and across ``--jobs`` levels.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.config.accelerator import ConfigError
+from repro.dse.pareto import pareto_indices
+from repro.dse.space import DesignSpace
+
+#: Objective keys every strategy ranks on, in report order.
+OBJECTIVE_KEYS = ("cycles", "area_mm2", "energy_pj")
+
+
+class SearchStrategy:
+    """Batch-propose protocol; subclasses override both hooks."""
+
+    name = "abstract"
+
+    def initial(self, space: DesignSpace) -> list[dict[str, float]]:
+        raise NotImplementedError
+
+    def next_batch(self, space: DesignSpace,
+                   evaluations: Sequence) -> list[dict[str, float]]:
+        """Propose more candidates given everything evaluated so far
+        (an empty list ends the search)."""
+        return []
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustively enumerate the space (mind :attr:`DesignSpace.size`)."""
+
+    name = "grid"
+
+    def __init__(self, max_candidates: int | None = None) -> None:
+        self.max_candidates = max_candidates
+
+    def initial(self, space: DesignSpace) -> list[dict[str, float]]:
+        if (self.max_candidates is not None
+                and space.size > self.max_candidates):
+            raise ConfigError(
+                f"grid search over {space.size} candidates exceeds "
+                f"--max-candidates {self.max_candidates}; restrict the "
+                f"space (--knob/--space) or raise the cap")
+        return list(space.grid())
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling (duplicates collapse in the engine)."""
+
+    name = "random"
+
+    def __init__(self, samples: int = 16, seed: int = 0) -> None:
+        if samples < 1:
+            raise ConfigError(f"samples must be >= 1, got {samples}")
+        self.samples = samples
+        self.seed = seed
+
+    def initial(self, space: DesignSpace) -> list[dict[str, float]]:
+        rng = random.Random(f"dse-random:{self.seed}")
+        return [space.sample(rng) for _ in range(self.samples)]
+
+
+class EvolutionarySearch(SearchStrategy):
+    """(μ+λ) mutation hill-climb over the Pareto survivors.
+
+    Generation 0 is ``population`` random candidates. Each later
+    generation takes the Pareto frontier of every *feasible* evaluation
+    so far (the μ survivors, sorted canonically), and mutates each
+    parent ``children_per_parent`` times, one knob-rung per child. The
+    engine deduplicates, so converged searches finish early.
+    """
+
+    name = "evolutionary"
+
+    def __init__(self, population: int = 8, generations: int = 4,
+                 children_per_parent: int = 2, seed: int = 0) -> None:
+        if population < 1:
+            raise ConfigError(f"population must be >= 1, got {population}")
+        if generations < 1:
+            raise ConfigError(
+                f"generations must be >= 1, got {generations}")
+        if children_per_parent < 1:
+            raise ConfigError("children_per_parent must be >= 1")
+        self.population = population
+        self.generations = generations
+        self.children_per_parent = children_per_parent
+        self.seed = seed
+        self._generation = 0
+
+    def _rng(self) -> random.Random:
+        return random.Random(f"dse-evo:{self.seed}:{self._generation}")
+
+    def initial(self, space: DesignSpace) -> list[dict[str, float]]:
+        self._generation = 0  # a strategy instance may drive >1 search
+        rng = self._rng()
+        return [space.sample(rng) for _ in range(self.population)]
+
+    def _parents(self, evaluations: Sequence) -> list:
+        alive = [e for e in evaluations
+                 if e.status == "ok" and e.feasible]
+        vectors = [[e.objectives[key] for key in OBJECTIVE_KEYS]
+                   for e in alive]
+        parents = [alive[i] for i in pareto_indices(vectors)]
+        # Canonical order: selection must not depend on evaluation
+        # interleaving, or --jobs would change the search trajectory.
+        return sorted(parents, key=lambda e: e.overrides)
+
+    def next_batch(self, space: DesignSpace,
+                   evaluations: Sequence) -> list[dict[str, float]]:
+        self._generation += 1
+        if self._generation >= self.generations:
+            return []
+        rng = self._rng()
+        parents = self._parents(evaluations)
+        if not parents:
+            # Nothing survived (all invalid or over budget): re-seed
+            # with fresh random candidates instead of giving up.
+            return [space.sample(rng) for _ in range(self.population)]
+        children = []
+        for parent in parents:
+            for _ in range(self.children_per_parent):
+                children.append(space.mutate(dict(parent.overrides), rng))
+        return children
+
+
+#: Strategy registry for the ``repro dse`` CLI.
+STRATEGY_NAMES = ("grid", "random", "evolutionary")
+
+
+def build_strategy(name: str, samples: int = 16, population: int = 8,
+                   generations: int = 4, seed: int = 0,
+                   max_candidates: int | None = None) -> SearchStrategy:
+    """Resolve a strategy by CLI name."""
+    if name == "grid":
+        return GridSearch(max_candidates=max_candidates)
+    if name == "random":
+        return RandomSearch(samples=samples, seed=seed)
+    if name == "evolutionary":
+        return EvolutionarySearch(population=population,
+                                  generations=generations, seed=seed)
+    raise ConfigError(
+        f"unknown strategy {name!r}; known strategies: "
+        f"{', '.join(STRATEGY_NAMES)}")

@@ -136,6 +136,46 @@ class Harness:
                           config: GNNeratorConfig | None = None) -> float:
         return self.gnnerator_result(spec, config).seconds
 
+    def gnnerator_dse_metrics(self, spec: WorkloadSpec,
+                              config: GNNeratorConfig | None = None
+                              ) -> dict:
+        """The DSE objective bundle for one (workload, config) point.
+
+        One compile + one simulation yields every objective the
+        design-space search optimises: latency (cycles/seconds), DRAM
+        traffic, first-order silicon area of the config, and the
+        event-energy estimate (with derived average power and EDP).
+        """
+        from repro.eval.area import gnnerator_area
+        from repro.eval.energy import estimate_energy
+
+        config, feature_block = self._resolve_config(spec, config)
+        accelerator = GNNerator(config)
+        program = accelerator.compile(self.graph(spec.dataset),
+                                      self.model(spec),
+                                      params=self.params(spec),
+                                      traversal=spec.traversal,
+                                      feature_block=feature_block)
+        result = accelerator.simulate(program)
+        energy = estimate_energy(program, result)
+        area = gnnerator_area(config)
+        return {
+            "seconds": result.seconds,
+            "cycles": result.cycles,
+            "num_operations": result.num_operations,
+            "total_dram_bytes": result.total_dram_bytes,
+            "area_mm2": area.total_mm2,
+            "energy_pj": energy.total_pj,
+            "energy_breakdown_pj": {
+                "compute": energy.compute_pj,
+                "sram": energy.sram_pj,
+                "dram": energy.dram_pj,
+                "idle": energy.idle_pj,
+            },
+            "avg_power_w": energy.average_power_w(result.seconds),
+            "edp_js": energy.total_joules * result.seconds,
+        }
+
     def gpu_seconds(self, spec: WorkloadSpec) -> float:
         model = GpuModel(rtx_2080_ti_config())
         return model.run(self.graph(spec.dataset), self.model(spec)).seconds

@@ -30,6 +30,44 @@ def format_table(rows: list[dict[str, str]], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def area_energy_table() -> list[dict[str, str]]:
+    """Derived area- and energy-model summaries per platform.
+
+    The DSE objectives (silicon mm², event energy / power envelopes)
+    come from these first-order models; surfacing them next to Table IV
+    makes every number a search optimises inspectable from the CLI.
+    """
+    from repro.config.platforms import hygcn_config, rtx_2080_ti_config
+    from repro.eval import energy
+    from repro.eval.area import gnnerator_area, hygcn_area
+
+    gnn_area = gnnerator_area()
+    hyg_area = hygcn_area(hygcn_config())
+    gpu = rtx_2080_ti_config()
+    event_model = (f"event energy: {energy.MAC_PJ} pJ/MAC, "
+                   f"{energy.SRAM_PJ_PER_BYTE} pJ/B SRAM, "
+                   f"{energy.DRAM_PJ_PER_BYTE} pJ/B DRAM, "
+                   f"{energy.IDLE_PJ_PER_CYCLE} pJ/cycle idle")
+    return [
+        {
+            "Platform": gpu.name,
+            "Area model": "- (off-the-shelf die)",
+            "Energy model": f"envelope: {energy.GPU_POWER_W:.0f} W TDP",
+        },
+        {
+            "Platform": "GNNerator",
+            "Area model": gnn_area.describe(),
+            "Energy model": event_model,
+        },
+        {
+            "Platform": "HyGCN",
+            "Area model": hyg_area.describe(),
+            "Energy model": f"envelope: {energy.HYGCN_POWER_W} W "
+                            "(reported)",
+        },
+    ]
+
+
 def _ratio(measured: float, paper: float | None) -> str:
     if paper is None:
         return "-"

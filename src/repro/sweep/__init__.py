@@ -28,6 +28,9 @@ from repro.sweep.cache import (
     code_version_hash,
 )
 from repro.sweep.plan import (
+    METRIC_DSE,
+    METRIC_LATENCY,
+    METRIC_TRAFFIC,
     PLAN_NAMES,
     SweepPlan,
     SweepPlanError,
@@ -57,6 +60,9 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "code_version_hash",
+    "METRIC_DSE",
+    "METRIC_LATENCY",
+    "METRIC_TRAFFIC",
     "PLAN_NAMES",
     "SweepPlan",
     "SweepPlanError",

@@ -14,9 +14,13 @@ compared across ``--jobs`` levels without ever re-deriving the grid.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, replace
 
 from repro.config.accelerator import ConfigError
+from repro.config.overrides import apply_overrides, freeze_overrides
+from repro.config.platforms import gnnerator_config
 from repro.config.workload import (
     DST_STATIONARY,
     FIG3_DATASETS,
@@ -38,11 +42,13 @@ PLATFORMS = ("gnnerator", "gpu", "hygcn")
 VARIANT_NAMES = ("more-graph-memory", "more-dense-compute",
                  "more-feature-bandwidth")
 
-#: What a point measures: end-to-end latency (compile + simulate) or
-#: compiled DRAM traffic only (Table I never needs the DES replay).
+#: What a point measures: end-to-end latency (compile + simulate),
+#: compiled DRAM traffic only (Table I never needs the DES replay), or
+#: the full DSE objective bundle (latency + silicon area + energy).
 METRIC_LATENCY = "latency"
 METRIC_TRAFFIC = "traffic"
-METRICS = (METRIC_LATENCY, METRIC_TRAFFIC)
+METRIC_DSE = "dse"
+METRICS = (METRIC_LATENCY, METRIC_TRAFFIC, METRIC_DSE)
 
 
 class SweepPlanError(ConfigError):
@@ -69,6 +75,11 @@ class SweepPoint:
     #: Parameter-initialisation seed; fixed per point so any worker
     #: process computes byte-identical results.
     seed: int = 0
+    #: DSE candidate knobs applied on top of the baseline GNNerator
+    #: config: canonical sorted ``(path, value)`` pairs (see
+    #: :mod:`repro.config.overrides`). Part of the cache-key payload,
+    #: so two candidates never share an entry.
+    config_overrides: tuple[tuple[str, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.platform not in PLATFORMS:
@@ -78,6 +89,10 @@ class SweepPoint:
         if self.metric not in METRICS:
             raise SweepPlanError(
                 f"metric must be one of {METRICS}, got {self.metric!r}")
+        if self.metric == METRIC_DSE and self.platform != "gnnerator":
+            raise SweepPlanError(
+                "the dse metric (area/energy models) only applies to "
+                "the gnnerator platform")
         if self.variant is not None:
             if self.platform != "gnnerator":
                 raise SweepPlanError(
@@ -86,6 +101,22 @@ class SweepPoint:
                 raise SweepPlanError(
                     f"variant must be one of {VARIANT_NAMES}, "
                     f"got {self.variant!r}")
+        if self.config_overrides is not None:
+            if self.platform != "gnnerator":
+                raise SweepPlanError(
+                    "config_overrides only apply to the gnnerator platform")
+            if self.variant is not None:
+                raise SweepPlanError(
+                    "config_overrides cannot be combined with a Fig 5 "
+                    "variant; express the variant as overrides instead")
+            canonical = freeze_overrides(self.config_overrides)
+            object.__setattr__(self, "config_overrides", canonical)
+            # Builds (and thereby validates) the candidate config now:
+            # degenerate candidates fail at plan time with a ConfigError,
+            # not inside a worker.
+            apply_overrides(
+                gnnerator_config(feature_block=self.feature_block),
+                canonical)
         # Validates traversal / hidden_dim / feature_block eagerly, so a
         # malformed point fails at plan time, not inside a worker.
         self.spec
@@ -112,6 +143,10 @@ class SweepPoint:
             parts.append("no-elim")
         if self.metric != METRIC_LATENCY:
             parts.append(self.metric)
+        if self.config_overrides:
+            blob = json.dumps(self.config_overrides)
+            digest = hashlib.sha256(blob.encode()).hexdigest()[:8]
+            parts.append(f"ov-{digest}")
         return ":".join(parts)
 
     def payload(self) -> dict:

@@ -27,9 +27,15 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.config.platforms import next_generation_variants
+from repro.config.overrides import apply_overrides
+from repro.config.platforms import gnnerator_config, next_generation_variants
 from repro.sweep.cache import SCHEMA_VERSION, NullCache, ResultCache
-from repro.sweep.plan import METRIC_TRAFFIC, SweepPlan, SweepPoint
+from repro.sweep.plan import (
+    METRIC_DSE,
+    METRIC_TRAFFIC,
+    SweepPlan,
+    SweepPoint,
+)
 
 
 class SweepError(RuntimeError):
@@ -58,6 +64,10 @@ class PointResult:
 
 def _gnnerator_config_for(point: SweepPoint):
     """Resolve a point's explicit config (None = derive from the spec)."""
+    if point.config_overrides is not None:
+        return apply_overrides(
+            gnnerator_config(feature_block=point.feature_block),
+            point.config_overrides)
     if point.variant is None:
         return None
     config = next_generation_variants()[point.variant]
@@ -76,6 +86,8 @@ def evaluate_point(point: SweepPoint, harness) -> dict:
         return {"seconds": harness.hygcn_seconds(
             spec, point.sparsity_elimination)}
     config = _gnnerator_config_for(point)
+    if point.metric == METRIC_DSE:
+        return harness.gnnerator_dse_metrics(spec, config)
     if point.metric == METRIC_TRAFFIC:
         program = harness.gnnerator_program(spec, config)
         return {

@@ -14,6 +14,8 @@ TABLE2 = {
     "cora": (2708, 10556, 1433),
     "citeseer": (3327, 9104, 3703),
     "pubmed": (19717, 88648, 500),
+    # Not in the paper: the CI/DSE smoke dataset.
+    "tiny": (64, 256, 32),
 }
 
 
@@ -39,10 +41,11 @@ class TestRegistry:
         with pytest.raises(GraphError, match="cora"):
             dataset_stats("imaginary")
 
-    def test_table_rendering(self):
+    def test_table_rendering_shows_paper_datasets_only(self):
         rows = dataset_table()
         assert len(rows) == 3
         assert rows[0]["Dataset"] == "CORA"
+        assert all(row["Dataset"] != "TINY" for row in rows)
 
 
 class TestLoading:

@@ -1,0 +1,93 @@
+"""Unit tests for multi-objective dominance and Pareto extraction."""
+
+import pytest
+
+from repro.dse.pareto import (
+    dominated_count,
+    dominates,
+    pareto_front,
+    pareto_indices,
+)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_better_on_one_equal_on_rest(self):
+        assert dominates((1, 2), (2, 2))
+        assert dominates((2, 1), (2, 2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((3, 3), (3, 3))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 5), (5, 1))
+        assert not dominates((5, 1), (1, 5))
+
+    def test_asymmetric(self):
+        assert dominates((1, 1, 1), (1, 1, 2))
+        assert not dominates((1, 1, 2), (1, 1, 1))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            dominates((1, 2), (1, 2, 3))
+
+    def test_empty_vectors_raise(self):
+        with pytest.raises(ValueError, match="empty"):
+            dominates((), ())
+
+
+class TestFrontier2D:
+    def test_single_point_is_the_frontier(self):
+        assert pareto_indices([(4, 2)]) == [0]
+
+    def test_empty_input(self):
+        assert pareto_indices([]) == []
+        assert dominated_count([]) == 0
+
+    def test_classic_staircase(self):
+        # Frontier is the (1,4)-(2,2)-(4,1) staircase; (3,3) and (5,5)
+        # sit behind it.
+        points = [(1, 4), (3, 3), (2, 2), (5, 5), (4, 1)]
+        assert pareto_indices(points) == [0, 2, 4]
+        assert pareto_front(points) == [(1, 4), (2, 2), (4, 1)]
+        assert dominated_count(points) == 2
+
+    def test_all_dominated_by_one(self):
+        points = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        assert pareto_indices(points) == [0]
+        assert dominated_count(points) == 3
+
+    def test_exact_duplicates_all_stay(self):
+        points = [(1, 2), (1, 2), (0, 9)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_duplicates_of_a_dominated_point_all_fall(self):
+        points = [(2, 2), (2, 2), (1, 1)]
+        assert pareto_indices(points) == [2]
+
+    def test_ties_on_one_axis(self):
+        # (1,3) and (1,2): same first objective, second decides.
+        points = [(1, 3), (1, 2)]
+        assert pareto_indices(points) == [1]
+
+
+class TestFrontier3D:
+    def test_tradeoff_triangle_survives(self):
+        points = [(1, 9, 9), (9, 1, 9), (9, 9, 1)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_interior_point_falls(self):
+        points = [(1, 9, 9), (9, 1, 9), (9, 9, 1), (9, 9, 9)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_dominance_needs_all_three_axes(self):
+        # (2,2,9) beats nobody: each of the others wins one axis.
+        points = [(1, 3, 3), (3, 1, 3), (2, 2, 9)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_mixed_duplicates_and_dominated(self):
+        points = [(1, 1, 1), (1, 1, 1), (2, 1, 1), (0, 5, 5)]
+        assert pareto_indices(points) == [0, 1, 3]
+        assert dominated_count(points) == 1
