@@ -12,6 +12,7 @@ Usage::
     gnnerator sweep fig3 --jobs 4   # parallel, cached sweep engine
     gnnerator dse --strategy random --budget-area 20 \
         --networks gcn --datasets tiny   # design-space exploration
+    gnnerator perf --datasets tiny,cora  # host wall-clock trajectory
 
 (or ``python -m repro ...``)
 """
@@ -137,10 +138,91 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 
 def _positive_int(value: str) -> int:
-    jobs = int(value)
-    if jobs < 1:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer >= 1, got {value!r}") from None
+    if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-    return jobs
+    return number
+
+
+def _name_list(kind: str, valid: tuple[str, ...]):
+    """Validator for comma-separated name lists (``--datasets a,b``)."""
+
+    def parse(text: str) -> tuple[str, ...]:
+        names = tuple(name.strip() for name in text.split(",")
+                      if name.strip())
+        if not names:
+            raise argparse.ArgumentTypeError(
+                f"expected a comma-separated list of {kind} names; "
+                f"valid choices: {', '.join(valid)}")
+        for name in names:
+            if name not in valid:
+                raise argparse.ArgumentTypeError(
+                    f"unknown {kind} {name!r}; valid choices: "
+                    f"{', '.join(valid)}")
+        return names
+
+    return parse
+
+
+def _cmd_perf(args: argparse.Namespace) -> str:
+    from repro.eval import hostperf
+
+    # Read the baseline up front: writing first could clobber it when
+    # --output and --check name the same file (the committed default).
+    baseline = None
+    if args.check:
+        baseline_path = Path(args.check)
+        if not baseline_path.exists():
+            raise SystemExit(
+                f"perf: baseline file {args.check!r} does not exist")
+        baseline = hostperf.load_benchmark(baseline_path)
+    from repro.eval.hostperf import DEFAULT_DATASETS, DEFAULT_NETWORKS
+
+    payload = hostperf.measure(datasets=args.datasets,
+                               networks=args.networks,
+                               hidden_dim=args.hidden_dim,
+                               repeat=args.repeat)
+    lines = [hostperf.render(payload)]
+    output = args.output
+    if output is None:
+        # The default target is the committed baseline; only write it
+        # for the full default grid, so a restricted run can never
+        # silently replace the full trajectory with a partial payload.
+        full_grid = (tuple(args.datasets) == DEFAULT_DATASETS
+                     and tuple(args.networks) == DEFAULT_NETWORKS)
+        output = "BENCH_host.json" if full_grid else ""
+        if not full_grid:
+            lines.append("not writing BENCH_host.json for a restricted "
+                         "workload grid; pass --output FILE to record "
+                         "this measurement")
+    if output:
+        if (baseline is not None
+                and Path(output).resolve() == baseline_path.resolve()):
+            lines.append(f"skipped writing {output} — it is the "
+                         f"--check baseline (pass a different --output "
+                         f"to record this measurement)")
+        else:
+            path = hostperf.write_benchmark(payload, output)
+            lines.append(f"wrote {path}")
+    if baseline is not None:
+        regressions = hostperf.find_regressions(payload, baseline,
+                                                factor=args.threshold,
+                                                slack=args.slack)
+        if regressions:
+            args.exit_code = 1
+            lines.append("host-performance regressions against "
+                         f"{args.check}:")
+            lines.extend(f"  {line}" for line in regressions)
+        else:
+            shared = sorted(set(payload) & set(baseline))
+            lines.append(
+                f"no regressions against {args.check} "
+                f"({len(shared)} workloads within {args.threshold:g}x)")
+    return "\n".join(lines)
 
 
 def _knob_value(text: str) -> float:
@@ -267,9 +349,9 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one workload")
     run.add_argument("dataset", choices=DATASET_NAMES)
     run.add_argument("network", choices=NETWORK_NAMES)
-    run.add_argument("--block", type=int, default=64,
+    run.add_argument("--block", type=_positive_int, default=64,
                      help="feature block size B (default 64)")
-    run.add_argument("--hidden-dim", type=int, default=16)
+    run.add_argument("--hidden-dim", type=_positive_int, default=16)
     run.set_defaults(handler=_cmd_run)
     sweep = sub.add_parser(
         "sweep",
@@ -359,6 +441,41 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--output", "-o",
                      help="write output to this file instead of stdout")
     dse.set_defaults(handler=_cmd_dse)
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark host wall-clock of load/compile/simulate per "
+             "workload (the BENCH_host.json trajectory)")
+    perf.add_argument("--datasets",
+                      type=_name_list("dataset", DATASET_NAMES),
+                      default=("tiny", "cora", "citeseer", "pubmed"),
+                      metavar="A,B,...",
+                      help="comma-separated datasets "
+                           "(default tiny,cora,citeseer,pubmed)")
+    perf.add_argument("--networks",
+                      type=_name_list("network", NETWORK_NAMES),
+                      default=("gcn", "gat"), metavar="A,B,...",
+                      help="comma-separated networks (default gcn,gat)")
+    perf.add_argument("--hidden-dim", type=_positive_int, default=16)
+    perf.add_argument("--repeat", type=_positive_int, default=1,
+                      help="repetitions per workload; each component "
+                           "reports its minimum (default 1)")
+    perf.add_argument("--output", "-o", default=None,
+                      help="write the JSON payload here (default: "
+                           "BENCH_host.json when measuring the full "
+                           "default grid, otherwise no file; empty "
+                           "string to skip)")
+    perf.add_argument("--check", metavar="BASELINE.json",
+                      help="compare against a committed baseline; exit 1 "
+                           "when total_s regresses beyond --threshold or "
+                           "cycles drift")
+    perf.add_argument("--threshold", type=float, default=2.0,
+                      help="allowed total_s slowdown factor for --check "
+                           "(default 2.0)")
+    perf.add_argument("--slack", type=float, default=0.0,
+                      help="absolute seconds added to every --check "
+                           "budget (CI machine-variance allowance; "
+                           "default 0)")
+    perf.set_defaults(handler=_cmd_perf)
     return parser
 
 

@@ -128,7 +128,6 @@ class Lowering:
             traversal=traversal, feature_block=feature_block,
             num_nodes=graph.num_nodes)
         self._token_seq = 0
-        self._gpe_cache: dict[tuple[int, int, int, int], int] = {}
         # Attention stages need the *values* flowing into them at compile
         # time (their edge weights are computed, not structural), so the
         # compiler shadows the reference execution — but only when some
@@ -164,22 +163,19 @@ class Lowering:
 
     def _gpe_imbalance(self, layer: int, stage: int, grid: ShardGrid,
                        shard_key: tuple[int, int]) -> int:
-        """Max edges landing on one GPE when distributing by destination."""
-        key = (layer, stage) + shard_key
-        if key not in self._gpe_cache:
-            self._gpe_cache[key] = max_gpe_edges(
-                grid.shard(*shard_key), self.config.graph.num_gpes)
-        return self._gpe_cache[key]
+        """Max edges landing on one GPE when distributing by destination.
+
+        Cached on the shard itself (see :func:`max_gpe_edges`), so the
+        value survives across stages, compiles, and sweep points that
+        share the memoized grid."""
+        return max_gpe_edges(grid.shard(*shard_key),
+                             self.config.graph.num_gpes)
 
     def _distinct_sources(self, layer: int, stage: int, grid: ShardGrid,
                           shard_key: tuple[int, int]) -> int:
         """Distinct source rows a shard references (sparsity
-        elimination's gather size)."""
-        key = ("distinct", layer, stage) + shard_key
-        if key not in self._gpe_cache:
-            shard = grid.shard(*shard_key)
-            self._gpe_cache[key] = int(np.unique(shard.src).size)
-        return self._gpe_cache[key]
+        elimination's gather size); cached on the shard."""
+        return grid.shard(*shard_key).distinct_sources()
 
     # ------------------------------------------------------------------
     # Top level

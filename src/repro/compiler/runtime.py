@@ -40,6 +40,9 @@ class FunctionalState:
             self.arrays[name] = np.zeros((graph.num_nodes, dim),
                                          dtype=np.float32)
         self.arrays[program.input_array][:] = graph.features
+        #: Per-(layer, stage, shard) edge-weight gathers, shared by every
+        #: feature block that revisits the same shard.
+        self._shard_weights: dict[tuple, np.ndarray] = {}
 
     def view(self, name: str, rows: tuple[int, int],
              dims: tuple[int, int]) -> np.ndarray:
@@ -69,16 +72,19 @@ def _exec_aggregate(state: FunctionalState, op: ShardAggregateOp) -> None:
     shard = grid.shard(*op.shard)
     if shard.num_edges == 0:
         return
-    weights = state.program.edge_weights[(op.layer, op.stage)]
-    edge_w = weights[shard.edge_ids]
+    key = (op.layer, op.stage) + op.shard
+    edge_w = state._shard_weights.get(key)
+    if edge_w is None:
+        weights = state.program.edge_weights[(op.layer, op.stage)]
+        edge_w = state._shard_weights[key] = weights[shard.edge_ids]
     src_vals = state.arrays[op.src_array][shard.src, op.dims[0]:op.dims[1]]
     values = src_vals * edge_w[:, None]
     acc = state.arrays[op.acc_array]
     # Shard edges are dst-sorted (see partition.py), so segment
     # reductions are contiguous — the same order the Reduce Unit sees.
-    boundaries = np.flatnonzero(np.diff(shard.dst)) + 1
-    starts = np.concatenate([[0], boundaries])
-    segment_dst = shard.dst[starts]
+    # The boundaries are precomputed once per shard and shared across
+    # every feature block (and every compile reusing the grid).
+    starts, segment_dst = shard.dst_segments
     if op.reduce == "sum":
         segments = np.add.reduceat(values, starts, axis=0)
         acc[segment_dst, op.dims[0]:op.dims[1]] += segments

@@ -37,8 +37,17 @@ def gpe_edge_distribution(shard: Shard, num_gpes: int) -> np.ndarray:
 
 
 def max_gpe_edges(shard: Shard, num_gpes: int) -> int:
-    """Edge count on the most-loaded GPE (the latency determinant)."""
-    return int(gpe_edge_distribution(shard, num_gpes).max())
+    """Edge count on the most-loaded GPE (the latency determinant).
+
+    Cached on the shard per GPE count: shard grids are memoized across
+    compiles (see :func:`repro.graph.partition.plan_shards`), so sweeps
+    and DSE candidates sharing a grid never re-reduce the distribution.
+    """
+    cached = shard._gpe_loads.get(num_gpes)
+    if cached is None:
+        cached = int(gpe_edge_distribution(shard, num_gpes).max())
+        shard._gpe_loads[num_gpes] = cached
+    return cached
 
 
 def shard_compute_cycles(worst_gpe_edges: int, width: int,

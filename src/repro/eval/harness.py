@@ -69,10 +69,14 @@ class PlatformLatencies:
 class Harness:
     """Shared-state experiment runner."""
 
+    #: Compiled programs kept per harness; evicted FIFO beyond this.
+    PROGRAM_CACHE_MAX_ENTRIES = 64
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._params: dict[tuple, Parameters] = {}
         self._datasets = DatasetCache()
+        self._programs: dict[tuple, Program] = {}
 
     # -- workload materialisation --------------------------------------
     def graph(self, dataset: str) -> Graph:
@@ -108,29 +112,47 @@ class Harness:
                     spec.feature_block)
         return config, "config"
 
+    def _compiled(self, spec: WorkloadSpec,
+                  config: GNNeratorConfig,
+                  feature_block: int | None | str) -> Program:
+        """The memoized compiled program for one (workload, config).
+
+        Compilation is deterministic given (graph, model, params,
+        config, traversal, block) and simulation never mutates the
+        program, so sweep points and DSE candidates sharing a software
+        shape skip recompilation entirely. Keyed by the frozen spec and
+        config dataclasses; bounded FIFO to keep long searches from
+        pinning every program ever compiled.
+        """
+        key = (spec, config, feature_block)
+        program = self._programs.get(key)
+        if program is None:
+            accelerator = GNNerator(config)
+            program = accelerator.compile(self.graph(spec.dataset),
+                                          self.model(spec),
+                                          params=self.params(spec),
+                                          traversal=spec.traversal,
+                                          feature_block=feature_block)
+            if len(self._programs) >= self.PROGRAM_CACHE_MAX_ENTRIES:
+                self._programs.pop(next(iter(self._programs)))
+            self._programs[key] = program
+        return program
+
     def gnnerator_program(self, spec: WorkloadSpec,
                           config: GNNeratorConfig | None = None
                           ) -> Program:
         """Compile ``spec`` without simulating (Table I's traffic
         accounting needs only the program's DMA bytes)."""
         config, feature_block = self._resolve_config(spec, config)
-        accelerator = GNNerator(config)
-        return accelerator.compile(self.graph(spec.dataset),
-                                   self.model(spec),
-                                   params=self.params(spec),
-                                   traversal=spec.traversal,
-                                   feature_block=feature_block)
+        return self._compiled(spec, config, feature_block)
 
     def gnnerator_result(self, spec: WorkloadSpec,
                          config: GNNeratorConfig | None = None
                          ) -> ExecutionResult:
         """Run ``spec`` on GNNerator (see :meth:`_resolve_config`)."""
         config, feature_block = self._resolve_config(spec, config)
-        accelerator = GNNerator(config)
-        return accelerator.run(self.graph(spec.dataset), self.model(spec),
-                               params=self.params(spec),
-                               traversal=spec.traversal,
-                               feature_block=feature_block)
+        program = self._compiled(spec, config, feature_block)
+        return GNNerator(config).simulate(program)
 
     def gnnerator_seconds(self, spec: WorkloadSpec,
                           config: GNNeratorConfig | None = None) -> float:
@@ -150,13 +172,8 @@ class Harness:
         from repro.eval.energy import estimate_energy
 
         config, feature_block = self._resolve_config(spec, config)
-        accelerator = GNNerator(config)
-        program = accelerator.compile(self.graph(spec.dataset),
-                                      self.model(spec),
-                                      params=self.params(spec),
-                                      traversal=spec.traversal,
-                                      feature_block=feature_block)
-        result = accelerator.simulate(program)
+        program = self._compiled(spec, config, feature_block)
+        result = GNNerator(config).simulate(program)
         energy = estimate_energy(program, result)
         area = gnnerator_area(config)
         return {

@@ -23,11 +23,14 @@ behaviour being measured). If a real Planetoid ``<name>.content`` /
 from __future__ import annotations
 
 import functools
+import hashlib
 import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
+import repro.graph.generators as _generators
 from repro.graph.generators import citation_network
 from repro.graph.graph import Graph, GraphError
 
@@ -116,17 +119,101 @@ def _load_planetoid(stats: DatasetStats, data_dir: str) -> Graph:
     return graph
 
 
+#: Environment variable pointing at the persistent synthetic-graph
+#: cache; set to ``0``/``off``/empty-string handling below to disable.
+DATASET_CACHE_ENV = "REPRO_DATASET_CACHE"
+
+#: Default on-disk location for synthesized graphs (npz per dataset).
+DEFAULT_DATASET_CACHE = ".dataset-cache"
+
+
+def _dataset_cache_dir() -> Path | None:
+    value = os.environ.get(DATASET_CACHE_ENV)
+    if value is None:
+        return Path(DEFAULT_DATASET_CACHE)
+    if value.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return Path(value)
+
+
+@functools.lru_cache(maxsize=1)
+def _generator_fingerprint() -> str:
+    """Hash of the generator source: any edit to the synthesis algorithm
+    invalidates every cached graph (same contract as the sweep cache's
+    code version, scoped to the one module that shapes the graphs)."""
+    source = Path(_generators.__file__).read_bytes()
+    return hashlib.sha256(source).hexdigest()[:16]
+
+
+def _dataset_cache_path(stats: DatasetStats, seed: int) -> Path | None:
+    root = _dataset_cache_dir()
+    if root is None:
+        return None
+    blob = (f"{stats.name}|{stats.num_nodes}|{stats.num_edges}|"
+            f"{stats.feature_dim}|{stats.feature_density}|{seed}|"
+            f"{_generator_fingerprint()}")
+    digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    return root / f"{stats.name}-{digest}.npz"
+
+
+def _dataset_cache_load(path: Path | None, stats: DatasetStats) -> Graph | None:
+    """A cached graph, or None; any read error is treated as a miss
+    (the entry is rewritten by the next store)."""
+    if path is None:
+        return None
+    try:
+        with np.load(path) as data:
+            graph = Graph(int(data["num_nodes"]), data["src"], data["dst"],
+                          features=data["features"], name=stats.name)
+    except Exception:
+        return None
+    if (graph.num_nodes != stats.num_nodes
+            or graph.num_edges != stats.num_edges):
+        return None
+    return graph
+
+
+def _dataset_cache_store(path: Path | None, graph: Graph) -> None:
+    """Persist atomically (tmp + ``os.replace``) so concurrent workers
+    racing on the same dataset never observe a half-written file."""
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, num_nodes=np.int64(graph.num_nodes),
+                         src=graph.src, dst=graph.dst,
+                         features=graph.features)
+            os.replace(tmp, path)
+        finally:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass  # already replaced into place
+    except OSError:
+        pass  # caching is best-effort; synthesis already succeeded
+
+
 @functools.lru_cache(maxsize=None)
 def _synthesize(name: str) -> Graph:
     stats = dataset_stats(name)
-    return citation_network(
+    seed = _DATASET_SEEDS.get(name, 0)
+    cache_path = _dataset_cache_path(stats, seed)
+    cached = _dataset_cache_load(cache_path, stats)
+    if cached is not None:
+        return cached
+    graph = citation_network(
         num_nodes=stats.num_nodes,
         num_undirected_edges=stats.num_edges,
         feature_dim=stats.feature_dim,
         density=stats.feature_density,
-        seed=_DATASET_SEEDS.get(name, 0),
+        seed=seed,
         name=stats.name,
     )
+    _dataset_cache_store(cache_path, graph)
+    return graph
 
 
 def load_dataset(name: str, data_dir: str | None = None) -> Graph:

@@ -37,6 +37,13 @@ def preferential_attachment_edges(num_nodes: int, num_edges: int,
     one unit of smoothing so isolated papers can still be cited). Returns
     a ``(num_edges, 2)`` array of directed ``(citing, cited)`` pairs with
     no duplicates and no self loops.
+
+    The RNG call sequence is load-bearing: every dataset golden depends
+    on the exact graph this produces, so the per-node ``rng.choice``
+    draws must stay exactly as they are. Everything around them (degree
+    bookkeeping, edge collection, the final sort) is vectorized, since
+    duplicate tracking only matters in the top-up phase — the main loop
+    can never produce the same ``(citing, cited)`` pair twice.
     """
     if num_nodes < 2:
         raise GraphError("need at least two nodes")
@@ -50,7 +57,6 @@ def preferential_attachment_edges(num_nodes: int, num_edges: int,
     rng = _rng(seed)
 
     degree = np.ones(num_nodes, dtype=np.float64)  # +1 smoothing
-    edges: set[tuple[int, int]] = set()
     # Average citations per arriving paper; remainder distributed randomly.
     quota = np.full(num_nodes, num_edges // max(num_nodes - 1, 1),
                     dtype=np.int64)
@@ -61,6 +67,9 @@ def preferential_attachment_edges(num_nodes: int, num_edges: int,
         np.add.at(quota, extra, 1)
     quota[0] = 0
 
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    grown = 0
     for node in range(1, num_nodes):
         cites = min(int(quota[node]), node)
         if cites == 0:
@@ -68,22 +77,42 @@ def preferential_attachment_edges(num_nodes: int, num_edges: int,
         weights = degree[:node]
         probability = weights / weights.sum()
         targets = rng.choice(node, size=cites, replace=False, p=probability)
-        for target in targets:
-            edges.add((node, int(target)))
-            degree[node] += 1.0
-            degree[target] += 1.0
+        # Targets are distinct (replace=False) and each iteration has a
+        # fresh ``node``, so these batched updates match the old
+        # one-edge-at-a-time bookkeeping exactly.
+        degree[node] += float(cites)
+        degree[targets] += 1.0
+        src_parts.append(np.full(cites, node, dtype=np.int64))
+        dst_parts.append(targets.astype(np.int64, copy=False))
+        grown += cites
+
+    src = (np.concatenate(src_parts) if src_parts
+           else np.empty(0, dtype=np.int64))
+    dst = (np.concatenate(dst_parts) if dst_parts
+           else np.empty(0, dtype=np.int64))
 
     # Preferential choice without replacement can fall short when a node's
     # quota exceeded its candidates; top up with random non-duplicates.
-    while len(edges) < num_edges:
-        u = int(rng.integers(1, num_nodes))
-        v = int(rng.integers(0, u))
-        if (u, v) not in edges:
-            edges.add((u, v))
-            degree[u] += 1.0
-            degree[v] += 1.0
+    if grown < num_edges:
+        edges = set(zip(src.tolist(), dst.tolist()))
+        extra_src: list[int] = []
+        extra_dst: list[int] = []
+        while len(edges) < num_edges:
+            u = int(rng.integers(1, num_nodes))
+            v = int(rng.integers(0, u))
+            if (u, v) not in edges:
+                edges.add((u, v))
+                degree[u] += 1.0
+                degree[v] += 1.0
+                extra_src.append(u)
+                extra_dst.append(v)
+        src = np.concatenate([src, np.asarray(extra_src, dtype=np.int64)])
+        dst = np.concatenate([dst, np.asarray(extra_dst, dtype=np.int64)])
 
-    result = np.array(sorted(edges), dtype=np.int64)
+    # Same order the old sorted-set assembly produced: lexicographic by
+    # (citing, cited).
+    order = np.lexsort((dst, src))
+    result = np.stack([src[order], dst[order]], axis=1)
     return result[:num_edges]
 
 

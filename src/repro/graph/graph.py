@@ -21,6 +21,16 @@ class GraphError(ValueError):
     """Raised for malformed graph construction arguments."""
 
 
+def segment_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """``reduceat`` boundaries of a sorted key array: index 0 plus every
+    position where the key changes (empty for empty input). Shared by
+    the graph- and shard-level segment views."""
+    if not sorted_keys.size:
+        return np.empty(0, dtype=np.int64)
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    return np.concatenate([np.zeros(1, dtype=np.int64), boundaries])
+
+
 class Graph:
     """A directed graph with optional node features.
 
@@ -61,6 +71,8 @@ class Graph:
             self.features = features
         self._csr: tuple[np.ndarray, np.ndarray] | None = None
         self._csc: tuple[np.ndarray, np.ndarray] | None = None
+        self._dst_segments: tuple[np.ndarray, np.ndarray,
+                                  np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -144,6 +156,25 @@ class Graph:
         if self._csc is None:
             self._csc = self._build_index(self.dst, self.src)
         return self._csc
+
+    @property
+    def dst_segments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(order, starts, segment_dst)`` — the destination-segment view
+        of the edge list, cached for segment reductions.
+
+        ``order`` is the stable permutation sorting edges by ``dst``;
+        ``starts`` are ``reduceat`` boundaries into the sorted arrays;
+        ``segment_dst`` holds each segment's destination node. The stable
+        sort keeps edges of one destination in original edge order, so
+        per-destination accumulation through this view adds values in
+        exactly the same sequence a direct edge-order walk would.
+        """
+        if self._dst_segments is None:
+            order = np.argsort(self.dst, kind="stable")
+            dst_sorted = self.dst[order]
+            starts = segment_starts(dst_sorted)
+            self._dst_segments = (order, starts, dst_sorted[starts])
+        return self._dst_segments
 
     def out_degrees(self) -> np.ndarray:
         return np.bincount(self.src, minlength=self.num_nodes)

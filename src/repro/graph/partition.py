@@ -25,7 +25,7 @@ from repro.config.accelerator import (
     ELEM_BYTES,
     GraphEngineConfig,
 )
-from repro.graph.graph import Graph, GraphError
+from repro.graph.graph import Graph, GraphError, segment_starts
 
 
 @dataclass(frozen=True)
@@ -68,10 +68,35 @@ class Shard:
     #: Indices of these edges in the parent graph's edge arrays.
     edge_ids: np.ndarray = field(
         default_factory=lambda: np.empty(0, np.int64))
+    # Lazily computed views, reused across feature blocks and across
+    # compiles that share this shard grid (never part of equality).
+    _segments: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _gpe_loads: dict[int, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _distinct_sources: int | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def num_edges(self) -> int:
         return int(self.src.size)
+
+    @property
+    def dst_segments(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(starts, segment_dst)`` reduceat boundaries of the
+        (dst-sorted) edge list — the per-shard index arrays segment
+        reductions run over, computed once per shard."""
+        if self._segments is None:
+            starts = segment_starts(self.dst)
+            self._segments = (starts, self.dst[starts])
+        return self._segments
+
+    def distinct_sources(self) -> int:
+        """Distinct source rows the shard references (sparsity
+        elimination's gather size), cached."""
+        if self._distinct_sources is None:
+            self._distinct_sources = int(np.unique(self.src).size)
+        return self._distinct_sources
 
     @property
     def local_src(self) -> np.ndarray:
@@ -221,18 +246,44 @@ def plan_interval_size(config: GraphEngineConfig, block: int) -> int:
     return int(capacity)
 
 
+#: Grids kept per graph by :func:`plan_shards`; bounds worst-case memory
+#: when a DSE search walks many scratchpad geometries over one graph.
+_GRID_CACHE_MAX_ENTRIES = 8
+
+
 def plan_shards(graph: Graph, config: GraphEngineConfig,
                 block: int) -> ShardGrid:
     """Build the shard grid for ``graph`` under a feature block of ``block``.
 
     Starts from the buffer-capacity interval size and halves it until
     every shard's edge list also fits the (double-buffered) edge buffer.
+
+    Grids are memoized on the graph object, keyed by exactly the config
+    inputs the geometry depends on — the usable buffer budgets and the
+    block size — so every compile of the same workload shape reuses the
+    scatter, the per-shard segment boundaries, and the GPE load
+    statistics. DSE candidates that vary only compute knobs (GPE count,
+    SIMD width, frequency, dense-engine shape) share one grid; the
+    per-shard GPE-load cache is itself keyed by GPE count, so sharing
+    a grid across those candidates stays sound.
     """
+    cache: dict = getattr(graph, "_shard_grid_cache", None)
+    if cache is None:
+        cache = {}
+        graph._shard_grid_cache = cache
+    key = (config.usable_src_bytes, config.usable_dst_bytes,
+           config.usable_edge_bytes, block)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     interval = min(plan_interval_size(config, block),
                    max(graph.num_nodes, 1))
     edge_capacity = config.usable_edge_bytes // EDGE_BYTES
     while True:
         grid = ShardGrid(graph, interval)
         if grid.max_shard_edges <= edge_capacity or interval == 1:
+            if len(cache) >= _GRID_CACHE_MAX_ENTRIES:
+                cache.pop(next(iter(cache)))
+            cache[key] = grid
             return grid
         interval = max(interval // 2, 1)

@@ -1,7 +1,7 @@
 """Functional reference executor: ground truth for every other path.
 
 Runs a :class:`~repro.models.stages.GNNModel` over a graph with plain
-numpy/scipy — no sharding, no blocking, no hardware model. The compiled,
+numpy segment reductions — no sharding, no blocking, no hardware model. The compiled,
 sharded, dimension-blocked runtime (:mod:`repro.compiler.runtime`) must
 reproduce these outputs to float tolerance; that equivalence is the
 central functional invariant of the repository.
@@ -10,7 +10,6 @@ central functional invariant of the repository.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.graph.graph import Graph
 from repro.models.layers import Parameters, dense_forward
@@ -57,10 +56,15 @@ def apply_aggregate(graph: Graph, h: np.ndarray, reduce: str,
 
 def _weighted_sum(graph: Graph, h: np.ndarray, weights: np.ndarray,
                   self_weights: np.ndarray | None) -> np.ndarray:
-    matrix = sp.csr_matrix(
-        (weights.astype(np.float64), (graph.dst, graph.src)),
-        shape=(graph.num_nodes, graph.num_nodes))
-    out = matrix @ h.astype(np.float64)
+    out = np.zeros((graph.num_nodes, h.shape[1]), dtype=np.float64)
+    if graph.num_edges:
+        # Per-destination segment sums over the graph's cached
+        # dst-segment view — one gather + one reduceat, float64
+        # accumulation, no sparse-matrix construction per call.
+        order, starts, segment_dst = graph.dst_segments
+        values = (h.astype(np.float64)[graph.src[order]]
+                  * weights.astype(np.float64)[order][:, None])
+        out[segment_dst] = np.add.reduceat(values, starts, axis=0)
     if self_weights is not None:
         out += self_weights[:, None].astype(np.float64) * h
     return out.astype(np.float32)
@@ -75,13 +79,9 @@ def _segment_max(graph: Graph, h: np.ndarray, weights: np.ndarray,
         # zero-initialised max pooling on isolated nodes).
         out = np.zeros_like(h)
     if graph.num_edges:
-        order = np.argsort(graph.dst, kind="stable")
-        dst_sorted = graph.dst[order]
+        order, starts, segment_dst = graph.dst_segments
         values = h[graph.src[order]] * weights[order][:, None]
-        boundaries = np.flatnonzero(np.diff(dst_sorted)) + 1
-        starts = np.concatenate([[0], boundaries])
         segment_max = np.maximum.reduceat(values, starts, axis=0)
-        segment_dst = dst_sorted[starts]
         if self_weights is not None:
             out[segment_dst] = np.maximum(out[segment_dst], segment_max)
         else:

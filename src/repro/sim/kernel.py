@@ -23,6 +23,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Generator, Iterable
 
 
@@ -156,15 +157,30 @@ class Process(Event):
 
 
 class Environment:
-    """Owns the event queue and simulated time (integer cycles)."""
+    """Owns the event queue and simulated time (integer cycles).
+
+    Scheduling is split into two lanes: a heap for future timestamps and
+    a FIFO deque for zero-delay actions (the bulk of DES traffic —
+    every resume and token signal). FIFO order is exactly what the old
+    single-heap (time, sequence) ordering gave these actions, because a
+    zero-delay action scheduled at time ``t`` always carries a larger
+    sequence number than any heap entry that matures at ``t`` (those
+    were pushed before ``t`` was reached): heap entries for the current
+    timestamp drain first, then the deque, with appends landing at the
+    back exactly as rising sequence numbers used to.
+    """
 
     def __init__(self) -> None:
         self.now = 0
         self._queue: list[tuple[int, int, Any, Any]] = []
+        self._fast: deque[tuple[Any, Any]] = deque()
         self._sequence = 0
 
     # -- scheduling internals ------------------------------------------
     def _push(self, delay: int, action: Any, value: Any) -> None:
+        if delay == 0:
+            self._fast.append((action, value))
+            return
         self._sequence += 1
         heapq.heappush(self._queue,
                        (self.now + delay, self._sequence, action, value))
@@ -195,19 +211,26 @@ class Environment:
         return AnyOf(self, events)
 
     def run(self, until: int | None = None) -> None:
-        """Process events until the queue drains (or ``until`` cycles).
+        """Process events until the queues drain (or ``until`` cycles).
 
         Raises :class:`SimulationError` on deadlock if processes remain
         suspended when the queue empties — detected by callers via
         un-triggered process events.
         """
-        while self._queue:
-            time, _, action, value = self._queue[0]
-            if until is not None and time > until:
-                self.now = until
-                return
-            heapq.heappop(self._queue)
-            self.now = time
+        queue, fast = self._queue, self._fast
+        while queue or fast:
+            # Heap entries maturing *now* precede the zero-delay lane
+            # (they were scheduled earlier); otherwise the zero-delay
+            # lane runs before time may advance.
+            if queue and (not fast or queue[0][0] <= self.now):
+                time, _, action, value = queue[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return
+                heapq.heappop(queue)
+                self.now = time
+            else:
+                action, value = fast.popleft()
             kind, target = action
             if kind == "trigger":
                 if not target.triggered:

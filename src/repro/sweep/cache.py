@@ -26,9 +26,10 @@ per instance.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
-from functools import lru_cache
+import time
 from pathlib import Path
 
 from repro.graph.datasets import load_dataset
@@ -37,24 +38,68 @@ from repro.graph.graph import Graph
 #: Bump when the cached record layout changes; old entries become misses.
 SCHEMA_VERSION = 1
 
+#: Last computed code hash per source root, revalidated by a cheap
+#: (path, mtime, size) snapshot on every lookup. Deliberately NOT an
+#: ``lru_cache`` on the function: a long-lived process (notebook,
+#: server) that edits source must not keep writing cache entries under
+#: a stale code hash.
+_CODE_HASH_MEMO: dict[Path, tuple[tuple, str, int]] = {}
 
-@lru_cache(maxsize=1)
-def code_version_hash() -> str:
+#: A same-size edit landing in the same filesystem-timestamp tick as
+#: the hash would be invisible to the snapshot (git's "racy" problem);
+#: distrust the fast path for files modified within this window of the
+#: memoized digest and rehash instead.
+_RACY_WINDOW_NS = 2_000_000_000
+
+
+def _code_snapshot(root: Path) -> tuple:
+    """Cheap freshness fingerprint of a source tree (no file reads)."""
+    entries = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((str(path.relative_to(root)),
+                        stat.st_mtime_ns, stat.st_size))
+    return tuple(entries)
+
+
+def code_version_hash(root: str | os.PathLike | None = None) -> str:
     """SHA-256 over every ``repro`` source file (path + contents).
 
     Used as the code-version component of cache keys: any edit to the
     simulator, compiler, or models invalidates all cached results.
+    Computed fresh whenever the mtime/size snapshot of the tree changes;
+    an unchanged snapshot reuses the previous digest, so per-
+    :class:`ResultCache` construction stays cheap.
     """
-    import repro
+    if root is None:
+        import repro
 
-    root = Path(repro.__file__).resolve().parent
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root).resolve()
+    snapshot = _code_snapshot(root)
+    memo = _CODE_HASH_MEMO.get(root)
+    if memo is not None:
+        old_snapshot, old_digest, hashed_at = memo
+        newest_mtime = max((mtime for _, mtime, _ in snapshot), default=0)
+        if (old_snapshot == snapshot
+                and newest_mtime + _RACY_WINDOW_NS < hashed_at):
+            return old_digest
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
+        try:
+            contents = path.read_bytes()
+        except OSError:
+            continue
         digest.update(str(path.relative_to(root)).encode())
         digest.update(b"\0")
-        digest.update(path.read_bytes())
+        digest.update(contents)
         digest.update(b"\0")
-    return digest.hexdigest()
+    value = digest.hexdigest()
+    _CODE_HASH_MEMO[root] = (snapshot, value, time.time_ns())
+    return value
 
 
 def cache_key(payload: dict, code_version: str) -> str:
@@ -65,14 +110,25 @@ def cache_key(payload: dict, code_version: str) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+#: Uniquifies temp names when several threads of one process put at once.
+_PUT_SEQUENCE = itertools.count()
+
+
 class ResultCache:
-    """On-disk store of computed point records, keyed by content."""
+    """On-disk store of computed point records, keyed by content.
+
+    The code version is resolved at construction (not process start), so
+    a long-lived process that edits source gets fresh keys from the next
+    cache it builds. ``code_root`` narrows the hashed tree — tests use
+    it to exercise invalidation without touching the real package.
+    """
 
     def __init__(self, root: str | os.PathLike,
-                 code_version: str | None = None) -> None:
+                 code_version: str | None = None,
+                 code_root: str | os.PathLike | None = None) -> None:
         self.root = Path(root)
         self.code_version = (code_version if code_version is not None
-                             else code_version_hash())
+                             else code_version_hash(code_root))
         self.hits = 0
         self.misses = 0
 
@@ -83,8 +139,13 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
-        """The stored record for ``key``, or None (corrupt files are
-        dropped and treated as misses)."""
+        """The stored record for ``key``, or None.
+
+        Fully race-tolerant: *any* read failure is a miss. Corrupt files
+        are best-effort dropped — when two workers race here, one may
+        remove the entry while the other is mid-read; both must simply
+        recompute, never raise.
+        """
         path = self._path(key)
         try:
             with open(path) as handle:
@@ -92,11 +153,12 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        except (OSError, ValueError, UnicodeDecodeError):
+            # ValueError covers json.JSONDecodeError (truncated writes).
             try:
                 os.remove(path)
             except OSError:
-                pass
+                pass  # a sibling worker already removed it — fine
             self.misses += 1
             return None
         if (not isinstance(record, dict)
@@ -107,13 +169,25 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: dict) -> None:
-        """Atomically persist ``record`` under ``key``."""
+        """Atomically persist ``record`` under ``key``.
+
+        Writes to a per-process/per-call temp file first and publishes
+        with ``os.replace``, so readers only ever see absent or complete
+        entries; a failed write leaves no partial file behind.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        with open(tmp, "w") as handle:
-            json.dump(record, handle, sort_keys=True)
-        os.replace(tmp, path)
+        tmp = path.parent / (f".{key}.{os.getpid()}"
+                             f".{next(_PUT_SEQUENCE)}.tmp")
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass  # already replaced into place
 
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed."""

@@ -119,8 +119,12 @@ def run_point(point: SweepPoint, harness) -> PointResult:
 # ---------------------------------------------------------------------
 # Worker-process plumbing (must be module-level for pickling)
 # ---------------------------------------------------------------------
-#: One harness per seed per worker process; graphs / models / params
-#: materialise once per process, not once per point.
+#: One harness per seed per worker process; graphs, models, params and
+#: compiled programs materialise once per process, not once per point —
+#: DSE candidates that share (dataset, network, blocking, config) reuse
+#: the compiled software outright (see ``Harness._compiled``), and
+#: candidates that differ only in non-graph-engine knobs still share the
+#: memoized shard grids hanging off the graph object.
 _WORKER_HARNESSES: dict[int, object] = {}
 
 
@@ -147,12 +151,14 @@ def _fork_context():
 
 
 def _preload_datasets(points) -> None:
-    """Synthesise every swept dataset once, in the parent.
+    """Load every swept dataset once, in the parent.
 
-    Forked workers inherit the populated synthesis cache, so N workers
-    don't each rebuild Pubmed (~2s) before their first point. Unknown
-    datasets are skipped: the owning point must fail *in its worker*
-    so the error stays isolated to that point.
+    Forked workers inherit the populated in-memory cache, so N workers
+    don't each re-load a dataset before their first point (a first-ever
+    Pubmed synthesis costs ~2.4s; afterwards the persistent on-disk
+    dataset cache serves any process in ~40ms). Unknown datasets are
+    skipped: the owning point must fail *in its worker* so the error
+    stays isolated to that point.
     """
     from repro.graph.datasets import load_dataset
 

@@ -1,8 +1,22 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def _expect_usage_error(capsys, argv: list[str], *needles: str) -> None:
+    """``argv`` must exit 2 with a one-line error (never a traceback)
+    whose message names the valid choices."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "Traceback" not in err
+    for needle in needles:
+        assert needle in err, f"{needle!r} missing from: {err}"
 
 
 class TestParser:
@@ -26,6 +40,147 @@ class TestParser:
     def test_run_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "reddit", "gcn"])
+
+
+class TestArgumentValidation:
+    """Bad arguments exit 2 with a one-line error naming the valid
+    choices — never a traceback (ISSUE-4 satellite)."""
+
+    def test_run_unknown_dataset_names_choices(self, capsys):
+        _expect_usage_error(capsys, ["run", "reddit", "gcn"],
+                            "invalid choice: 'reddit'", "cora", "pubmed")
+
+    def test_run_unknown_network_names_choices(self, capsys):
+        _expect_usage_error(capsys, ["run", "cora", "transformer"],
+                            "invalid choice: 'transformer'", "gcn", "gat")
+
+    def test_run_rejects_zero_feature_block(self, capsys):
+        _expect_usage_error(capsys, ["run", "cora", "gcn", "--block", "0"],
+                            "must be >= 1")
+
+    def test_run_rejects_negative_hidden_dim(self, capsys):
+        _expect_usage_error(
+            capsys, ["run", "cora", "gcn", "--hidden-dim", "-4"],
+            "must be >= 1")
+
+    def test_sweep_unknown_plan_names_choices(self, capsys):
+        _expect_usage_error(capsys, ["sweep", "fig9"],
+                            "invalid choice: 'fig9'", "fig3")
+
+    def test_sweep_unknown_network_names_choices(self, capsys):
+        _expect_usage_error(capsys, ["sweep", "fig3", "--network", "bert"],
+                            "invalid choice: 'bert'", "gcn")
+
+    def test_sweep_rejects_zero_jobs(self, capsys):
+        _expect_usage_error(capsys, ["sweep", "smoke", "--jobs", "0"],
+                            "must be >= 1")
+
+    def test_dse_rejects_negative_jobs(self, capsys):
+        _expect_usage_error(capsys, ["dse", "--jobs", "-2"],
+                            "must be >= 1")
+
+    def test_dse_unknown_dataset_names_choices(self, capsys):
+        _expect_usage_error(capsys, ["dse", "--datasets", "reddit"],
+                            "invalid choice: 'reddit'", "tiny")
+
+    def test_dse_unknown_network_names_choices(self, capsys):
+        _expect_usage_error(capsys, ["dse", "--networks", "mlp"],
+                            "invalid choice: 'mlp'", "gin")
+
+    def test_perf_unknown_dataset_names_choices(self, capsys):
+        _expect_usage_error(capsys, ["perf", "--datasets", "tiny,reddit"],
+                            "unknown dataset 'reddit'", "cora")
+
+    def test_perf_unknown_network_names_choices(self, capsys):
+        _expect_usage_error(capsys, ["perf", "--networks", "rnn"],
+                            "unknown network 'rnn'", "gcn")
+
+    def test_perf_rejects_non_integer_repeat(self, capsys):
+        _expect_usage_error(capsys, ["perf", "--repeat", "two"],
+                            "must be an integer >= 1")
+
+
+class TestPerfCommand:
+    def test_perf_writes_benchmark_and_table(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "tiny-gcn" in table and "total_s" in table
+        payload = json.loads(out.read_text())
+        row = payload["tiny-gcn"]
+        assert set(row) >= {"load_s", "compile_s", "simulate_s",
+                            "total_s", "cycles"}
+        assert row["cycles"] > 0
+        assert row["total_s"] >= row["compile_s"]
+
+    def test_perf_check_passes_against_generous_baseline(self, tmp_path,
+                                                         capsys):
+        baseline = tmp_path / "baseline.json"
+        out = tmp_path / "bench.json"
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(out), "--check", str(baseline),
+                     "--threshold", "1000"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_perf_check_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        payload["tiny-gcn"]["total_s"] = 1e-9  # impossible budget
+        baseline.write_text(json.dumps(payload))
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", "", "--check", str(baseline)]) == 1
+        assert "exceeds" in capsys.readouterr().out
+
+    def test_perf_check_fails_on_cycle_drift(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        payload["tiny-gcn"]["cycles"] += 1
+        baseline.write_text(json.dumps(payload))
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", "", "--check", str(baseline)]) == 1
+        assert "cycles changed" in capsys.readouterr().out
+
+    def test_perf_restricted_run_does_not_write_default(self, tmp_path,
+                                                        capsys,
+                                                        monkeypatch):
+        """A partial grid must never silently replace the committed
+        full-trajectory baseline."""
+        monkeypatch.chdir(tmp_path)
+        assert main(["perf", "--datasets", "tiny",
+                     "--networks", "gcn"]) == 0
+        out = capsys.readouterr().out
+        assert "not writing BENCH_host.json" in out
+        assert not (tmp_path / "BENCH_host.json").exists()
+
+    def test_perf_check_never_overwrites_its_baseline(self, tmp_path,
+                                                      capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        before = baseline.read_bytes()
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(baseline), "--check", str(baseline),
+                     "--threshold", "1000"]) == 0
+        assert "skipped writing" in capsys.readouterr().out
+        assert baseline.read_bytes() == before
+
+    def test_perf_check_missing_baseline_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                  "--output", "", "--check",
+                  str(tmp_path / "nope.json")])
+        assert "does not exist" in str(excinfo.value)
 
 
 class TestCommands:

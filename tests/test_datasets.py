@@ -1,9 +1,15 @@
 """Unit tests for the dataset registry (Table II)."""
 
+import numpy as np
 import pytest
 
+from repro.graph import datasets as datasets_module
 from repro.graph.datasets import (
+    DATASET_CACHE_ENV,
     DATASETS,
+    _dataset_cache_load,
+    _dataset_cache_path,
+    _dataset_cache_store,
     dataset_stats,
     dataset_table,
     load_dataset,
@@ -65,6 +71,54 @@ class TestLoading:
         pairs = set(zip(graph.src.tolist(), graph.dst.tolist()))
         sample = list(pairs)[:200]
         assert all((v, u) in pairs for u, v in sample)
+
+    def test_disk_cache_roundtrip_is_exact(self, tmp_path, monkeypatch):
+        """A graph served from the persistent npz cache is structurally
+        identical to a fresh synthesis (same edges, same features)."""
+        monkeypatch.setenv(DATASET_CACHE_ENV, str(tmp_path))
+        fresh = datasets_module._synthesize.__wrapped__("tiny")
+        path = _dataset_cache_path(dataset_stats("tiny"), 53)
+        assert path is not None and path.exists()
+        cached = _dataset_cache_load(path, dataset_stats("tiny"))
+        assert cached is not None
+        assert np.array_equal(cached.src, fresh.src)
+        assert np.array_equal(cached.dst, fresh.dst)
+        assert np.array_equal(cached.features, fresh.features)
+
+    def test_disk_cache_corrupt_file_is_a_miss(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv(DATASET_CACHE_ENV, str(tmp_path))
+        stats = dataset_stats("tiny")
+        path = _dataset_cache_path(stats, 53)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz archive")
+        assert _dataset_cache_load(path, stats) is None
+        graph = datasets_module._synthesize.__wrapped__("tiny")
+        assert graph.num_nodes == stats.num_nodes
+
+    def test_disk_cache_rejects_mismatched_stats(self, tmp_path):
+        """An entry whose stored graph no longer matches the published
+        statistics (e.g. stale after a registry change) is a miss."""
+        stats = dataset_stats("tiny")
+        wrong = datasets_module.DatasetStats(
+            name="tiny", num_nodes=stats.num_nodes,
+            num_edges=stats.num_edges, feature_dim=stats.feature_dim,
+            num_classes=stats.num_classes,
+            feature_density=stats.feature_density)
+        path = tmp_path / "entry.npz"
+        graph = load_dataset("tiny")
+        _dataset_cache_store(path, graph)
+        bigger = datasets_module.DatasetStats(
+            name="tiny", num_nodes=stats.num_nodes + 1,
+            num_edges=stats.num_edges, feature_dim=stats.feature_dim,
+            num_classes=stats.num_classes,
+            feature_density=stats.feature_density)
+        assert _dataset_cache_load(path, wrong) is not None
+        assert _dataset_cache_load(path, bigger) is None
+
+    def test_disk_cache_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv(DATASET_CACHE_ENV, "off")
+        assert _dataset_cache_path(dataset_stats("tiny"), 53) is None
 
     def test_planetoid_files_preferred(self, tmp_path):
         """A real .content/.cites pair under data_dir overrides synthesis."""

@@ -13,9 +13,14 @@ replacing the ad-hoc per-model equivalence checks this file supersedes.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro.accelerator import GNNerator
 from repro.compiler.lowering import compile_workload
 from repro.compiler.runtime import run_functional
 from repro.compiler.validation import validate_program
@@ -60,6 +65,31 @@ def _single_node_graph() -> Graph:
     return _with_features(Graph(1, [], [], name="lonely"), seed=23)
 
 
+def _edgeless_graph() -> Graph:
+    """Many nodes, zero edges — every segment reduction is empty and
+    every accumulator must fall back to its init/self term."""
+    return _with_features(Graph(10, [], [], name="edgeless"), seed=24)
+
+
+def _duplicate_edges_graph() -> Graph:
+    """A multigraph: repeated (multi-)edges, including a duplicated
+    self loop — duplicates must each contribute to sums, softmax
+    denominators, and max-reduce segments."""
+    src = [0, 0, 0, 1, 1, 2, 2, 2, 3, 3, 4, 4, 4, 5, 5]
+    dst = [1, 1, 2, 2, 2, 3, 3, 3, 3, 0, 5, 5, 1, 5, 5]
+    return _with_features(Graph(6, src, dst, name="multi"), seed=25)
+
+
+def _hub_graph() -> Graph:
+    """A high-degree hub: every other node feeds node 0 (plus a ring),
+    concentrating one destination's edges on a single GPE and one
+    accumulator — the worst case for load balance and segment sizes."""
+    n = 24
+    src = list(range(1, n)) + list(range(n))
+    dst = [0] * (n - 1) + [(i + 1) % n for i in range(n)]
+    return _with_features(Graph(n, src, dst, name="hub"), seed=26)
+
+
 def _random_graph(seed: int) -> Graph:
     sizes = {3: (26, 140), 4: (40, 90), 5: (33, 260)}
     nodes, edges = sizes[seed]
@@ -73,6 +103,9 @@ GRAPH_CASES = {
     "isolated-nodes": _isolated_nodes_graph,
     "self-loops-only": _self_loop_only_graph,
     "single-node": _single_node_graph,
+    "edgeless": _edgeless_graph,
+    "duplicate-edges": _duplicate_edges_graph,
+    "hub": _hub_graph,
 }
 
 
@@ -106,3 +139,61 @@ class TestDifferential:
     def test_unblocked(self, network, graph_case):
         self._check(network, GRAPH_CASES[graph_case](), feature_block=None,
                     traversal=DST_STATIONARY)
+
+
+# ---------------------------------------------------------------------
+# Cycle goldens: the host-side vectorization must never move a cycle
+# ---------------------------------------------------------------------
+CYCLE_GOLDEN_PATH = (Path(__file__).parent / "goldens"
+                     / "differential_cycles.json")
+
+
+def _compute_cycles() -> dict:
+    """Simulated cycle counts for every (network, graph case) pair,
+    blocked and unblocked — integers, compared exactly."""
+    payload: dict[str, dict[str, dict[str, int]]] = {}
+    for network in NETWORK_NAMES:
+        model = build_network(network, FEATURE_DIM, NUM_CLASSES,
+                              hidden_dim=8)
+        params = init_parameters(model, seed=7)
+        payload[network] = {}
+        for case in sorted(GRAPH_CASES):
+            graph = GRAPH_CASES[case]()
+            entry = {}
+            for mode, block in (("blocked", 4), ("unblocked", None)):
+                accelerator = GNNerator(make_tiny_config(block))
+                program = accelerator.compile(graph, model, params=params,
+                                              feature_block=block)
+                entry[mode] = accelerator.simulate(program).cycles
+            payload[network][case] = entry
+    return payload
+
+
+def test_cycles_match_goldens_exactly():
+    """Wall-clock optimisations must be cycle-neutral: every (network,
+    graph shape) pair's simulated cycle count is pinned exactly."""
+    actual = _compute_cycles()
+    if os.environ.get("REGEN_GOLDENS"):
+        CYCLE_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        CYCLE_GOLDEN_PATH.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {CYCLE_GOLDEN_PATH}")
+    if not CYCLE_GOLDEN_PATH.exists():
+        pytest.fail(f"golden file {CYCLE_GOLDEN_PATH} is missing; "
+                    f"regenerate with REGEN_GOLDENS=1")
+    expected = json.loads(CYCLE_GOLDEN_PATH.read_text())
+    drift = []
+    for network in sorted(set(expected) | set(actual)):
+        exp_net = expected.get(network, {})
+        act_net = actual.get(network, {})
+        for case in sorted(set(exp_net) | set(act_net)):
+            exp_entry = exp_net.get(case)
+            act_entry = act_net.get(case)
+            if exp_entry != act_entry:
+                drift.append(f"{network}/{case}: expected {exp_entry}, "
+                             f"got {act_entry}")
+    assert not drift, (
+        "cycle counts drifted from the goldens (vectorization must "
+        "never change cycles, only wall time):\n  " + "\n  ".join(drift)
+        + "\n(intentional modelling change? regenerate with "
+          "REGEN_GOLDENS=1 and review the JSON diff)")

@@ -2,6 +2,7 @@
 runner, and the ``sweep`` CLI subcommand."""
 
 import json
+import os
 
 import pytest
 
@@ -145,6 +146,67 @@ class TestResultCache:
         assert code_version_hash() == code_version_hash()
         assert len(code_version_hash()) == 64
 
+    def test_code_version_tracks_source_edits(self, tmp_path):
+        """A long-lived process that edits source must get a fresh code
+        hash from the next ResultCache it constructs (regression: the
+        hash used to be ``lru_cache``d for the process lifetime)."""
+        code = tmp_path / "code"
+        code.mkdir()
+        module = code / "module.py"
+        module.write_text("VALUE = 1\n")
+        first = ResultCache(tmp_path / "cache", code_root=code)
+        module.write_text("VALUE = 2\n")
+        second = ResultCache(tmp_path / "cache", code_root=code)
+        assert first.code_version != second.code_version
+        payload = point_for(CORA_GCN).payload()
+        assert first.key_for(payload) != second.key_for(payload)
+
+    def test_code_version_fast_path_reuses_digest(self, tmp_path):
+        """Unchanged trees hit the mtime/size snapshot fast path."""
+        code = tmp_path / "code"
+        code.mkdir()
+        (code / "module.py").write_text("VALUE = 1\n")
+        assert (ResultCache(tmp_path / "a", code_root=code).code_version
+                == ResultCache(tmp_path / "b", code_root=code)
+                .code_version)
+
+    def test_get_tolerates_concurrent_removal(self, tmp_path,
+                                              monkeypatch):
+        """Two workers racing on a corrupt entry: the loser's
+        ``os.remove`` fails because the winner already dropped the file
+        — that must read as a miss, never an exception."""
+        import repro.sweep.cache as cache_module
+
+        cache = ResultCache(tmp_path, code_version="v1")
+        key = cache.key_for(point_for(CORA_GCN).payload())
+        cache.put(key, {"schema": 1, "status": "ok", "metrics": {}})
+        path = cache._path(key)
+        path.write_text('{"schema": 1, "status"')  # truncated write
+
+        real_remove = os.remove
+
+        def racing_remove(target):
+            real_remove(target)  # the sibling worker wins the race...
+            real_remove(target)  # ...and ours raises FileNotFoundError
+
+        monkeypatch.setattr(cache_module.os, "remove", racing_remove)
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_put_failure_leaves_no_partial_file(self, tmp_path,
+                                                monkeypatch):
+        cache = ResultCache(tmp_path, code_version="v1")
+        key = cache.key_for(point_for(CORA_GCN).payload())
+
+        class Unserialisable:
+            pass
+
+        with pytest.raises(TypeError):
+            cache.put(key, {"schema": 1, "bad": Unserialisable()})
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert leftovers == []
+        assert cache.get(key) is None
+
 
 class TestDatasetCache:
     def test_caches_per_instance(self):
@@ -248,6 +310,27 @@ class TestScheduling:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):
             SweepRunner(jobs=0)
+
+    def test_truncated_cache_entries_recompute_under_jobs_4(self,
+                                                            tmp_path):
+        """Half-written records (e.g. a worker killed mid-write before
+        atomic puts) must read as misses for every one of 4 workers and
+        be healed by the rerun's puts."""
+        plan = smoke_plan()
+        seed_cache = ResultCache(tmp_path, code_version="v1")
+        for point in plan:
+            key = seed_cache.key_for(point.payload())
+            path = seed_cache._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text('{"schema": 1, "metr')  # truncated record
+        result = SweepRunner(
+            jobs=4, cache=ResultCache(tmp_path, code_version="v1")
+        ).run(plan)
+        assert result.ok
+        assert result.hits == 0 and result.misses == len(plan)
+        warm = SweepRunner(
+            cache=ResultCache(tmp_path, code_version="v1")).run(plan)
+        assert warm.ok and warm.hits == len(plan) and warm.misses == 0
 
 
 # ---------------------------------------------------------------------
