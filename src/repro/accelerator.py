@@ -23,7 +23,8 @@ from repro.engines.graph.engine import GraphEngine
 from repro.graph.graph import Graph
 from repro.models.layers import Parameters
 from repro.models.stages import GNNModel
-from repro.sim.kernel import Environment
+from repro.sim.coalesce import DeadlockSuspension, run_plan
+from repro.sim.kernel import Environment, SimulationError
 from repro.sim.memory import DramChannel
 from repro.sim.trace import Tracer
 
@@ -82,12 +83,28 @@ class GNNerator:
                                 feature_block=feature_block)
 
     def simulate(self, program: Program,
-                 tracer: Tracer | None = None) -> ExecutionResult:
+                 tracer: Tracer | None = None,
+                 coalesce: bool | None = None) -> ExecutionResult:
         """Replay a compiled program on the discrete-event machine.
 
-        Pass a :class:`~repro.sim.trace.Tracer` to collect per-unit
-        busy windows (see :func:`repro.sim.trace.render_gantt`).
+        By default the coalesced kernel (:mod:`repro.sim.coalesce`)
+        replays the program's precompiled action chains — identical
+        cycle counts, an order of magnitude less host time on big
+        programs. Pass a :class:`~repro.sim.trace.Tracer` to collect
+        per-unit busy windows (see :func:`repro.sim.trace.render_gantt`)
+        — tracing needs the per-operation event kernel, so it implies
+        ``coalesce=False``; pass ``coalesce=False`` explicitly to force
+        the process-based kernel (the two are locked cycle-identical by
+        ``tests/test_coalesce.py``).
         """
+        if coalesce is None:
+            coalesce = tracer is None
+        if coalesce and tracer is not None:
+            raise SimulationError(
+                "tracing requires the per-operation kernel; pass "
+                "coalesce=False (or omit it) when using a tracer")
+        if coalesce:
+            return self._simulate_coalesced(program)
         env = Environment()
         controller = Controller(env)
         dram = DramChannel(env, self.config.dram)
@@ -115,6 +132,34 @@ class GNNerator:
                 for unit, counter in dram.counters.items()},
             dram_bytes_by_purpose=program.dram_bytes_by_purpose(),
             dram_busy_cycles=dram.busy_cycles,
+            num_operations=program.num_operations,
+        )
+
+    def _simulate_coalesced(self, program: Program) -> ExecutionResult:
+        """Replay the program's precompiled action chains.
+
+        Every field of the result except the cycle count is a static
+        function of the program (each operation executes exactly once),
+        so only the chain replay runs; the accounting comes off the
+        cached :class:`~repro.sim.coalesce.CoalescedPlan`.
+        """
+        plan = program.coalesced_plan(self.config.dram)
+        try:
+            cycles = run_plan(plan)
+        except DeadlockSuspension as exc:
+            raise DeadlockError(
+                f"simulation deadlocked; unfinished units: "
+                f"{exc.stuck}") from None
+        return ExecutionResult(
+            cycles=cycles,
+            frequency_ghz=self.config.graph.frequency_ghz,
+            unit_busy_cycles=dict(plan.unit_busy_cycles),
+            dram_bytes_by_unit={
+                unit: reads + writes
+                for unit, (reads, writes, read_tx, write_tx)
+                in plan.dram_traffic.items() if read_tx or write_tx},
+            dram_bytes_by_purpose=program.dram_bytes_by_purpose(),
+            dram_busy_cycles=plan.dram_busy_cycles,
             num_operations=program.num_operations,
         )
 

@@ -182,18 +182,24 @@ def _cmd_perf(args: argparse.Namespace) -> str:
         baseline = hostperf.load_benchmark(baseline_path)
     from repro.eval.hostperf import DEFAULT_DATASETS, DEFAULT_NETWORKS
 
-    payload = hostperf.measure(datasets=args.datasets,
-                               networks=args.networks,
-                               hidden_dim=args.hidden_dim,
-                               repeat=args.repeat)
+    datasets = tuple(args.datasets or DEFAULT_DATASETS)
+    networks = tuple(args.networks or DEFAULT_NETWORKS)
+    workloads = hostperf.measure(datasets=datasets,
+                                 networks=networks,
+                                 hidden_dim=args.hidden_dim,
+                                 repeat=args.repeat,
+                                 coalesce=not args.no_coalesce)
+    payload = hostperf.build_payload(workloads)
     lines = [hostperf.render(payload)]
     output = args.output
     if output is None:
         # The default target is the committed baseline; only write it
-        # for the full default grid, so a restricted run can never
-        # silently replace the full trajectory with a partial payload.
-        full_grid = (tuple(args.datasets) == DEFAULT_DATASETS
-                     and tuple(args.networks) == DEFAULT_NETWORKS)
+        # for the full default grid measured with the default kernel,
+        # so a restricted (or deliberately slow) run can never silently
+        # replace the full trajectory with a partial payload.
+        full_grid = (datasets == DEFAULT_DATASETS
+                     and networks == DEFAULT_NETWORKS
+                     and not args.no_coalesce)
         output = "BENCH_host.json" if full_grid else ""
         if not full_grid:
             lines.append("not writing BENCH_host.json for a restricted "
@@ -209,6 +215,12 @@ def _cmd_perf(args: argparse.Namespace) -> str:
             path = hostperf.write_benchmark(payload, output)
             lines.append(f"wrote {path}")
     if baseline is not None:
+        mismatches = hostperf.fingerprint_mismatches(payload, baseline)
+        if mismatches:
+            lines.append(f"warning: {args.check} was measured on a "
+                         f"different host — wall-time comparisons are "
+                         f"indicative only (cycle checks still hold):")
+            lines.extend(f"  {line}" for line in mismatches)
         regressions = hostperf.find_regressions(payload, baseline,
                                                 factor=args.threshold,
                                                 slack=args.slack)
@@ -218,7 +230,8 @@ def _cmd_perf(args: argparse.Namespace) -> str:
                          f"{args.check}:")
             lines.extend(f"  {line}" for line in regressions)
         else:
-            shared = sorted(set(payload) & set(baseline))
+            shared = sorted(set(payload["workloads"])
+                            & set(baseline["workloads"]))
             lines.append(
                 f"no regressions against {args.check} "
                 f"({len(shared)} workloads within {args.threshold:g}x)")
@@ -447,18 +460,22 @@ def build_parser() -> argparse.ArgumentParser:
              "workload (the BENCH_host.json trajectory)")
     perf.add_argument("--datasets",
                       type=_name_list("dataset", DATASET_NAMES),
-                      default=("tiny", "cora", "citeseer", "pubmed"),
-                      metavar="A,B,...",
-                      help="comma-separated datasets "
-                           "(default tiny,cora,citeseer,pubmed)")
+                      default=None, metavar="A,B,...",
+                      help="comma-separated datasets (default "
+                           "tiny,cora,citeseer,pubmed,flickr; reddit-s "
+                           "is opt-in — cold synthesis alone is ~10s)")
     perf.add_argument("--networks",
                       type=_name_list("network", NETWORK_NAMES),
-                      default=("gcn", "gat"), metavar="A,B,...",
+                      default=None, metavar="A,B,...",
                       help="comma-separated networks (default gcn,gat)")
     perf.add_argument("--hidden-dim", type=_positive_int, default=16)
     perf.add_argument("--repeat", type=_positive_int, default=1,
                       help="repetitions per workload; each component "
                            "reports its minimum (default 1)")
+    perf.add_argument("--no-coalesce", action="store_true",
+                      help="time the per-operation event kernel instead "
+                           "of the coalesced replay (identical cycles; "
+                           "the before/after lever for simulate_s)")
     perf.add_argument("--output", "-o", default=None,
                       help="write the JSON payload here (default: "
                            "BENCH_host.json when measuring the full "

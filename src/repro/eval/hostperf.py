@@ -9,10 +9,21 @@ first baseline lives in ``BENCH_host.json`` at the repo root and the
 ``perf-smoke`` CI job fails when ``total_s`` regresses by more than
 :data:`DEFAULT_REGRESSION_FACTOR` against it.
 
-Schema of the emitted JSON (one entry per workload label)::
+Schema of the emitted JSON::
 
-    {"pubmed-gcn": {"load_s": ..., "compile_s": ..., "simulate_s": ...,
-                    "total_s": ..., "cycles": ...}, ...}
+    {"meta": {"python": ..., "numpy": ..., "cpu_count": ...,
+              "machine": ..., "system": ...},
+     "workloads": {"pubmed-gcn": {"load_s": ..., "compile_s": ...,
+                                  "simulate_s": ..., "total_s": ...,
+                                  "peak_mb": ..., "cycles": ...}, ...}}
+
+``meta`` is the host fingerprint: wall-time baselines taken on
+different machines are not comparable, so ``--check`` warns whenever
+the fingerprints differ (cycle comparisons are machine-independent and
+always enforced). ``peak_mb`` is the process's lifetime peak RSS after
+the workload ran — monotonic across rows, so the *first* large
+workload's row is the meaningful bound. The flat pre-fingerprint
+layout (workload rows at the top level) is still accepted on read.
 
 ``load_s`` times the dataset load with the in-process memo cleared, so
 it reflects what a fresh worker process pays (the persistent on-disk
@@ -24,6 +35,10 @@ measurement). ``compile_s``/``simulate_s`` are cold-harness times; with
 from __future__ import annotations
 
 import json
+import os
+import platform
+import resource
+import sys
 import time
 from pathlib import Path
 
@@ -36,8 +51,46 @@ from repro.graph import datasets as dataset_registry
 DEFAULT_REGRESSION_FACTOR = 2.0
 
 #: Workloads measured when the caller does not restrict them.
-DEFAULT_DATASETS = ("tiny", "cora", "citeseer", "pubmed")
+#: ``flickr`` keeps a simulate-dominated million-edge row in the
+#: trajectory; ``reddit-s`` stays opt-in (its cold synthesis alone is
+#: ~10s — see the README's "Scaling up" section).
+DEFAULT_DATASETS = ("tiny", "cora", "citeseer", "pubmed", "flickr")
 DEFAULT_NETWORKS = ("gcn", "gat")
+
+
+def host_fingerprint() -> dict:
+    """Identity of the measuring host, for baseline comparability."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def peak_rss_mb() -> float:
+    """Process-lifetime peak RSS in MB (1e6 bytes).
+
+    Prefers ``/proc/self/status`` VmHWM where available: on Linux,
+    ``ru_maxrss`` lives in the signal struct and *survives exec*, so a
+    freshly spawned process inherits its parent's peak — VmHWM tracks
+    the process's own address space and resets properly.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024 / 1e6
+    except OSError:
+        pass
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":
+        return peak / 1e6
+    return peak * 1024 / 1e6
 
 
 def _timed(fn):
@@ -47,8 +100,14 @@ def _timed(fn):
 
 
 def measure_workload(dataset: str, network: str, hidden_dim: int = 16,
-                     repeat: int = 1) -> dict:
-    """Time one workload's load / compile / simulate on a fresh harness."""
+                     repeat: int = 1, coalesce: bool = True) -> dict:
+    """Time one workload's load / compile / simulate on a fresh harness.
+
+    ``coalesce=False`` times the per-operation event kernel instead of
+    the coalesced replay (identical cycles; see
+    :mod:`repro.sim.coalesce`) — the before/after lever for the
+    simulate-path trajectory.
+    """
     spec = WorkloadSpec(dataset=dataset, network=network,
                         hidden_dim=hidden_dim)
     best: dict[str, float] = {}
@@ -63,7 +122,8 @@ def measure_workload(dataset: str, network: str, hidden_dim: int = 16,
         compile_s, program = _timed(
             lambda: harness._compiled(spec, config, feature_block))
         simulate_s, result = _timed(
-            lambda: GNNerator(config).simulate(program))
+            lambda: GNNerator(config).simulate(program,
+                                               coalesce=coalesce))
         if cycles is not None and result.cycles != cycles:
             raise RuntimeError(
                 f"{spec.label}: cycles changed between repeats "
@@ -76,48 +136,87 @@ def measure_workload(dataset: str, network: str, hidden_dim: int = 16,
     best["total_s"] = (best["load_s"] + best["compile_s"]
                        + best["simulate_s"])
     return {key: round(value, 6) for key, value in best.items()} | {
-        "cycles": int(cycles)}
+        "cycles": int(cycles), "peak_mb": round(peak_rss_mb(), 1)}
 
 
 def measure(datasets=DEFAULT_DATASETS, networks=DEFAULT_NETWORKS,
-            hidden_dim: int = 16, repeat: int = 1) -> dict[str, dict]:
-    """The full benchmark payload, one entry per dataset x network."""
-    payload: dict[str, dict] = {}
+            hidden_dim: int = 16, repeat: int = 1,
+            coalesce: bool = True) -> dict[str, dict]:
+    """The per-workload rows, one entry per dataset x network."""
+    workloads: dict[str, dict] = {}
     for dataset in datasets:
         for network in networks:
             label = f"{dataset}-{network}"
-            payload[label] = measure_workload(dataset, network,
-                                              hidden_dim=hidden_dim,
-                                              repeat=repeat)
-    return payload
+            workloads[label] = measure_workload(dataset, network,
+                                                hidden_dim=hidden_dim,
+                                                repeat=repeat,
+                                                coalesce=coalesce)
+    return workloads
 
 
-def write_benchmark(payload: dict[str, dict], path: str | Path) -> Path:
+def build_payload(workloads: dict[str, dict]) -> dict:
+    """Wrap measured rows with the host fingerprint."""
+    return {"meta": host_fingerprint(), "workloads": workloads}
+
+
+def write_benchmark(payload: dict, path: str | Path) -> Path:
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 
-def load_benchmark(path: str | Path) -> dict[str, dict]:
-    return json.loads(Path(path).read_text())
+def load_benchmark(path: str | Path) -> dict:
+    """Read a benchmark payload, normalising the legacy flat layout
+    (workload rows at the top level, no fingerprint) on the fly."""
+    payload = json.loads(Path(path).read_text())
+    if "workloads" not in payload:
+        payload = {"meta": {}, "workloads": payload}
+    payload.setdefault("meta", {})
+    return payload
 
 
-def find_regressions(measured: dict[str, dict], baseline: dict[str, dict],
+def fingerprint_mismatches(measured: dict, baseline: dict) -> list[str]:
+    """Human-readable fingerprint differences (empty = same host).
+
+    A baseline with no fingerprint (legacy layout) is treated as
+    unknown, which is reported as a single mismatch line.
+    """
+    have = measured.get("meta") or {}
+    want = baseline.get("meta") or {}
+    if not want:
+        return ["baseline has no host fingerprint (pre-fingerprint "
+                "layout); wall-time budgets may come from a different "
+                "machine"]
+    lines = []
+    for key in sorted(set(have) | set(want)):
+        if have.get(key) != want.get(key):
+            lines.append(f"{key}: measured {have.get(key)!r} vs "
+                         f"baseline {want.get(key)!r}")
+    return lines
+
+
+def find_regressions(measured: dict, baseline: dict,
                      factor: float = DEFAULT_REGRESSION_FACTOR,
                      slack: float = 0.0) -> list[str]:
     """Human-readable regression lines (empty = within budget).
 
-    Only workloads present in both payloads are compared, so a CI smoke
-    run over ``tiny,cora`` checks against the full committed baseline.
-    The budget is ``baseline * factor + slack`` — ``slack`` is an
+    Takes normalised payloads (see :func:`load_benchmark`). Only
+    workloads present in both are compared, so a CI smoke run over
+    ``tiny,cora`` checks against the full committed baseline. The
+    wall-time budget is ``baseline * factor + slack`` — ``slack`` is an
     absolute allowance (seconds) CI grants for machine variance on
     millisecond-scale workloads, where a pure ratio would gate on timer
     noise. Cycle drift is reported too: this benchmark must never
-    change the modeled hardware, only host wall time.
+    change the modeled hardware, only host wall time. Callers should
+    surface :func:`fingerprint_mismatches` alongside — wall-time
+    comparisons across differing hosts are indicative, not conclusive,
+    but cycle comparisons always hold.
     """
     lines = []
-    for label in sorted(set(measured) & set(baseline)):
-        have, want = measured[label], baseline[label]
+    measured_rows = measured.get("workloads", {})
+    baseline_rows = baseline.get("workloads", {})
+    for label in sorted(set(measured_rows) & set(baseline_rows)):
+        have, want = measured_rows[label], baseline_rows[label]
         if have.get("cycles") != want.get("cycles"):
             lines.append(
                 f"{label}: cycles changed ({want.get('cycles')} -> "
@@ -131,15 +230,17 @@ def find_regressions(measured: dict[str, dict], baseline: dict[str, dict],
     return lines
 
 
-def render(payload: dict[str, dict]) -> str:
+def render(payload: dict) -> str:
     """Fixed-width summary table of one benchmark payload."""
+    rows = payload.get("workloads", payload)
     header = (f"{'workload':<18} {'load_s':>9} {'compile_s':>10} "
-              f"{'simulate_s':>11} {'total_s':>9} {'cycles':>10}")
+              f"{'simulate_s':>11} {'total_s':>9} {'peak_mb':>8} "
+              f"{'cycles':>10}")
     lines = [header, "-" * len(header)]
-    for label in sorted(payload):
-        row = payload[label]
+    for label in sorted(rows):
+        row = rows[label]
         lines.append(
             f"{label:<18} {row['load_s']:>9.4f} {row['compile_s']:>10.4f} "
             f"{row['simulate_s']:>11.4f} {row['total_s']:>9.4f} "
-            f"{row['cycles']:>10d}")
+            f"{row.get('peak_mb', 0.0):>8.1f} {row['cycles']:>10d}")
     return "\n".join(lines)

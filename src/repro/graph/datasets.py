@@ -31,13 +31,22 @@ from pathlib import Path
 import numpy as np
 
 import repro.graph.generators as _generators
-from repro.graph.generators import citation_network
+from repro.graph.generators import citation_network, powerlaw_graph
 from repro.graph.graph import Graph, GraphError
 
 
 @dataclass(frozen=True)
 class DatasetStats:
-    """Published statistics of one benchmark dataset (one Table II row)."""
+    """Published statistics of one benchmark dataset (one Table II row).
+
+    ``degree_exponent`` documents the degree structure the synthesiser
+    reproduces: ``None`` means a citation-style graph grown by
+    preferential attachment and symmetrised (the Planetoid trio);
+    a float is the Zipf exponent of the in-degree tail of a directed
+    power-law multigraph (the million-edge workloads), whose out-degree
+    tail uses half that exponent — see
+    :func:`repro.graph.generators.powerlaw_graph`.
+    """
 
     name: str
     num_nodes: int
@@ -46,6 +55,9 @@ class DatasetStats:
     num_classes: int
     #: Bag-of-words density used when synthesising features.
     feature_density: float
+    #: In-degree Zipf exponent (power-law datasets) or None
+    #: (citation-style preferential attachment).
+    degree_exponent: float | None = None
 
     @property
     def feature_megabytes(self) -> float:
@@ -69,10 +81,30 @@ DATASETS: dict[str, DatasetStats] = {
     "tiny": DatasetStats(
         name="tiny", num_nodes=64, num_edges=256, feature_dim=32,
         num_classes=4, feature_density=0.25),
+    # Million-edge scale-up workloads (not Table II): synthetic stand-ins
+    # with the published |V| / |E| / feature dimension of the graphs the
+    # accelerator literature evaluates on (GraphSAINT's Flickr; Reddit at
+    # GenGNN's node count). Directed power-law multigraphs — see
+    # ``degree_exponent`` above for the documented degree structure.
+    "flickr": DatasetStats(
+        name="flickr", num_nodes=89250, num_edges=899756, feature_dim=500,
+        num_classes=7, feature_density=0.046, degree_exponent=1.2),
+    "reddit-s": DatasetStats(
+        name="reddit-s", num_nodes=232965, num_edges=11606920,
+        feature_dim=602, num_classes=41, feature_density=0.05,
+        degree_exponent=1.1),
 }
 
 #: Seeds fixed per dataset so every run sees the same synthetic graph.
-_DATASET_SEEDS = {"cora": 11, "citeseer": 23, "pubmed": 37, "tiny": 53}
+_DATASET_SEEDS = {"cora": 11, "citeseer": 23, "pubmed": 37, "tiny": 53,
+                  "flickr": 71, "reddit-s": 89}
+
+#: Datasets large enough that loads should never hold two copies of the
+#: feature matrix: their cached features are memory-mapped on load, so
+#: pages fault in only when (and if) a consumer actually reads them —
+#: a cycle-accurate compile+simulate of a non-attention network never
+#: touches feature *values* at all.
+LARGE_DATASETS = ("flickr", "reddit-s")
 
 
 def dataset_stats(name: str) -> DatasetStats:
@@ -90,8 +122,7 @@ def _load_planetoid(stats: DatasetStats, data_dir: str) -> Graph:
     """Parse real Planetoid ``.content`` / ``.cites`` files if present.
 
     Cached per (dataset, directory) like the synthetic path, so new
-    Harness instances — and forked sweep workers pre-warmed by the
-    parent — never re-parse the files."""
+    Harness instances in one process never re-parse the files."""
     content = os.path.join(data_dir, f"{stats.name}.content")
     cites = os.path.join(data_dir, f"{stats.name}.cites")
     ids: list[str] = []
@@ -145,26 +176,47 @@ def _generator_fingerprint() -> str:
     return hashlib.sha256(source).hexdigest()[:16]
 
 
+#: Bumped when the on-disk layout changes; old entries become misses.
+_CACHE_FORMAT = "v2"
+
+
 def _dataset_cache_path(stats: DatasetStats, seed: int) -> Path | None:
     root = _dataset_cache_dir()
     if root is None:
         return None
     blob = (f"{stats.name}|{stats.num_nodes}|{stats.num_edges}|"
-            f"{stats.feature_dim}|{stats.feature_density}|{seed}|"
+            f"{stats.feature_dim}|{stats.feature_density}|"
+            f"{stats.degree_exponent}|{seed}|{_CACHE_FORMAT}|"
             f"{_generator_fingerprint()}")
     digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
     return root / f"{stats.name}-{digest}.npz"
 
 
+def _features_path(path: Path) -> Path:
+    """The sidecar ``.npy`` holding the feature matrix.
+
+    Features live outside the structure npz so they can be loaded with
+    ``mmap_mode`` — ``np.load`` cannot memory-map members of a zip
+    archive — and so a load never materialises a second in-memory copy
+    of the matrix while the archive is being decoded."""
+    return path.with_suffix(".features.npy")
+
+
 def _dataset_cache_load(path: Path | None, stats: DatasetStats) -> Graph | None:
-    """A cached graph, or None; any read error is treated as a miss
-    (the entry is rewritten by the next store)."""
+    """A cached graph, or None; any read or validation error — missing
+    sidecar, truncated zip, short-mapped ``.npy``, stat mismatch — is
+    treated as a miss and the entry is rewritten by the next store
+    (mirroring ``ResultCache.get``'s race-tolerant contract)."""
     if path is None:
         return None
+    mmap_mode = "r" if stats.name in LARGE_DATASETS else None
     try:
+        features = np.load(_features_path(path), mmap_mode=mmap_mode)
+        if features.shape != (stats.num_nodes, stats.feature_dim):
+            return None
         with np.load(path) as data:
             graph = Graph(int(data["num_nodes"]), data["src"], data["dst"],
-                          features=data["features"], name=stats.name)
+                          features=features, name=stats.name)
     except Exception:
         return None
     if (graph.num_nodes != stats.num_nodes
@@ -173,25 +225,35 @@ def _dataset_cache_load(path: Path | None, stats: DatasetStats) -> Graph | None:
     return graph
 
 
+def _atomic_write(path: Path, write) -> None:
+    """Write via tmp + ``os.replace`` so racing workers never observe a
+    half-written file."""
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            write(handle)
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass  # already replaced into place
+
+
 def _dataset_cache_store(path: Path | None, graph: Graph) -> None:
-    """Persist atomically (tmp + ``os.replace``) so concurrent workers
-    racing on the same dataset never observe a half-written file."""
+    """Persist the graph: features sidecar first, then the structure npz
+    (loads require both, so a crash between the writes reads as a miss,
+    never as a torn graph)."""
     if path is None:
         return
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-        try:
-            with open(tmp, "wb") as handle:
-                np.savez(handle, num_nodes=np.int64(graph.num_nodes),
-                         src=graph.src, dst=graph.dst,
-                         features=graph.features)
-            os.replace(tmp, path)
-        finally:
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass  # already replaced into place
+        _atomic_write(_features_path(path),
+                      lambda handle: np.save(handle, graph.features))
+        _atomic_write(path,
+                      lambda handle: np.savez(
+                          handle, num_nodes=np.int64(graph.num_nodes),
+                          src=graph.src, dst=graph.dst))
     except OSError:
         pass  # caching is best-effort; synthesis already succeeded
 
@@ -204,14 +266,25 @@ def _synthesize(name: str) -> Graph:
     cached = _dataset_cache_load(cache_path, stats)
     if cached is not None:
         return cached
-    graph = citation_network(
-        num_nodes=stats.num_nodes,
-        num_undirected_edges=stats.num_edges,
-        feature_dim=stats.feature_dim,
-        density=stats.feature_density,
-        seed=seed,
-        name=stats.name,
-    )
+    if stats.degree_exponent is not None:
+        graph = powerlaw_graph(
+            num_nodes=stats.num_nodes,
+            num_edges=stats.num_edges,
+            feature_dim=stats.feature_dim,
+            exponent=stats.degree_exponent,
+            density=stats.feature_density,
+            seed=seed,
+            name=stats.name,
+        )
+    else:
+        graph = citation_network(
+            num_nodes=stats.num_nodes,
+            num_undirected_edges=stats.num_edges,
+            feature_dim=stats.feature_dim,
+            density=stats.feature_density,
+            seed=seed,
+            name=stats.name,
+        )
     _dataset_cache_store(cache_path, graph)
     return graph
 

@@ -1,0 +1,499 @@
+"""Coalesced-event simulation: the DES without the generator ping-pong.
+
+The process-based kernel (:mod:`repro.sim.kernel`) resumes a Python
+generator for every operation of every unit — creating an ``Event``,
+bouncing through the zero-delay deque, and re-entering ``execute_op``
+several times per op. All of that machinery exists to compute exactly
+one dynamic quantity: the end-to-end cycle count (every other field of
+an ``ExecutionResult`` — busy cycles, DRAM bytes, op counts — is a
+static function of the program, because every operation executes
+exactly once). This module therefore splits simulation into:
+
+* :func:`build_plan` — a one-time pass over the compiled queues that
+  precomputes each unit's *serial action chain*: the exact sequence of
+  kernel interactions ``execute_op`` would perform (token waits, credit
+  acquires, buffer handoffs, DRAM bursts, compute occupancies), with
+  adjacent compute occupancies merged into single timeouts, plus all
+  the static accounting (per-unit busy cycles, DRAM byte counters,
+  channel busy time);
+* :func:`run_plan` — a bespoke scheduler that replays the six chains,
+  entering its event structures only at cross-unit synchronisation
+  points: buffer handoffs (credits / handoff stores), DRAM-channel
+  arbitration, controller tokens, and time advances.
+
+Order-equivalence argument (the §4 cycle-neutrality obligation)
+---------------------------------------------------------------
+
+Cycle counts out of :func:`run_plan` are identical to the process-based
+kernel's because the scheduler is an *operational mirror* of it —
+every kernel interaction the generators would perform appears in the
+precompiled chains, in the same per-unit order — plus one provably
+order-preserving reduction, applied in two places:
+
+**Inline continuation on an empty ready set.** In the process kernel,
+yielding an already-available event (a signalled token, a free credit,
+a ready store slot, an idle DRAM port) still costs one trip through
+the zero-delay deque, which matters only for *fairness*: it lets other
+already-scheduled actions interleave first. The bespoke scheduler
+performs that round trip **unless** the ready deque is empty and no
+heap entry has matured (``heap[0].time > now``) — in which case the
+trip would pop the very entry it just pushed, with nothing able to run
+in between, so continuing inline is literally the same execution. The
+same test gates running a freshly matured timer's unit directly
+instead of parking it in the ready lane first. The reduction is a
+runtime no-op, not a reordering, so every interleaving — DRAM
+arbitration order included — is preserved exactly. This extends PR 4's
+zero-delay FIFO argument: PR 4 moved zero-delay actions from the heap
+to a FIFO lane because their (time, sequence) order degenerates to
+FIFO; this module additionally skips the lane when it is provably
+empty.
+
+**Inline time advance.** The same argument applies to the heap: when a
+unit starts a ``c``-cycle sleep while the ready lane is empty and every
+pending timer matures strictly *after* ``now + c``, the entry it would
+push is guaranteed to be the very next one popped (a timer maturing
+*at* ``now + c`` would have been pushed earlier, carry a smaller
+sequence number, and win the tie — hence the strict inequality).
+Nothing can run in between, so the scheduler advances ``now`` by ``c``
+and keeps executing the unit's chain without touching the heap at all.
+In an uncontended stretch — one engine streaming shards while the
+other sits blocked on a controller token — this collapses the entire
+intra-shard serial chain (compute occupancy, DRAM burst occupancy,
+burst latency) into straight-line arithmetic on ``now``, which is what
+"only enter the event kernel at cross-unit synchronization points"
+means operationally: the heap and ready lane are touched only when
+another unit could actually observe or interleave.
+
+A tempting further reduction — summing a unit's run of back-to-back
+compute occupancies ``c1, c2`` into one ``c1 + c2`` timeout — is
+**unsound** and deliberately not performed: heap entries tie-break on
+insertion sequence, and the second hop's entry is inserted at
+``t + c1`` in the mirrored kernel but at ``t`` when merged. If another
+unit's timer matures on the same cycle ``t + c1 + c2``, merging flips
+which unit wakes first and (through DRAM arbitration) can move the
+final cycle count — observed as a ±1-cycle drift on the self-loop
+differential workloads. Intra-chain hops instead stay as individual
+heap entries, each woken through the (cheap) inline path.
+
+Everything else is a one-to-one translation: tokens keep their
+level-sensitive one-shot semantics and FIFO waiter order; credits
+mirror ``Semaphore`` (signal hands the token straight to the oldest
+waiter); handoffs mirror ``Store`` including the wake order of a
+blocked putter vs. the getter that unblocked it; the DRAM port mirrors
+``Resource`` FIFO arbitration with the release happening after the
+occupancy and before the latency sleep. ``tests/test_coalesce.py``
+locks the equivalence by running both kernels over the differential
+suite and asserting exact cycle equality.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+
+from repro.compiler.ir import (
+    CHANNELS,
+    UNITS,
+    AccumWritebackOp,
+    AcquireOp,
+    DmaOp,
+    PopOp,
+    PushOp,
+    ReleaseOp,
+    op_cycles,
+)
+from repro.config.accelerator import DramConfig
+from repro.engines.controller import DOUBLE_BUFFER_CREDITS
+from repro.sim.kernel import SimulationError
+
+# Action opcodes, numbered roughly by execution frequency (the
+# scheduler dispatches through an if-chain in this order). Each chain
+# is one flat list of packed integers ``kind | (arg << 4)``; the
+# scheduler's inner loop dispatches on the low nibble. Token and
+# channel operands are interned to ints at build time so the hot loop
+# never hashes a string. A compute occupancy and a DRAM burst
+# occupancy have identical kernel behaviour (sleep ``arg`` cycles), so
+# both lower to ``TIMEOUT``.
+TIMEOUT = 0         # arg: cycles              occupy the unit / the burst
+DRAM_REQ = 1        # arg: unused              arbitrate for the DRAM port
+DRAM_REL = 2        # arg: latency cycles      release port, pay latency
+CREDIT_WAIT = 3     # arg: channel id          acquire a double-buffer credit
+CREDIT_SIGNAL = 4   # arg: channel id          release a credit (synchronous)
+PUT = 5             # arg: channel id          hand off a filled buffer
+GET = 6             # arg: channel id          wait for a filled buffer
+WAIT = 7            # arg: token id            wait on a controller token
+SIGNAL = 8          # arg: token id            signal a token (synchronous)
+END = 9             # chain terminator sentinel
+
+#: A timestamp later than any simulation reaches; stands in for "the
+#: heap is empty" in the hoisted next-deadline register.
+_NEVER = 1 << 62
+
+
+def _pack(kind: int, arg: int = 0) -> int:
+    return kind | (arg << 4)
+
+
+class CoalescedPlan:
+    """Precompiled per-unit action chains plus all static accounting."""
+
+    __slots__ = ("unit_actions", "num_tokens", "seq_bits",
+                 "unit_busy_cycles", "dram_traffic", "dram_busy_cycles")
+
+    def __init__(self, unit_actions: list[list[int]], num_tokens: int,
+                 seq_bits: int, unit_busy_cycles: dict[str, int],
+                 dram_traffic: dict[str, tuple[int, int, int, int]],
+                 dram_busy_cycles: int) -> None:
+        #: Flat packed action chains, indexed like ``UNITS``; each ends
+        #: with an ``END`` sentinel.
+        self.unit_actions = unit_actions
+        self.num_tokens = num_tokens
+        #: Bits reserved for the timer-insertion sequence number in the
+        #: scheduler's packed heap entries — sized to the total number
+        #: of timed actions, which bounds how many pushes can happen.
+        self.seq_bits = seq_bits
+        self.unit_busy_cycles = unit_busy_cycles
+        #: per unit: (read_bytes, write_bytes, read_tx, write_tx)
+        self.dram_traffic = dram_traffic
+        self.dram_busy_cycles = dram_busy_cycles
+
+
+def _occupancy(num_bytes: int, bytes_per_cycle: float) -> int:
+    """Mirror of ``DramChannel.transfer``'s burst occupancy."""
+    return max(int(round(num_bytes / bytes_per_cycle)), 1)
+
+
+def build_plan(queues: dict[str, list], dram: DramConfig) -> CoalescedPlan:
+    """Lower per-unit operation queues into primitive action chains.
+
+    Emits, for each operation, exactly the kernel interactions
+    ``repro.engines.executor.execute_op`` performs, in the same order.
+    All once-per-run accounting (busy cycles, DRAM byte counters,
+    channel busy time) is summed here instead of at run time — every
+    action executes exactly once, so it is a static property of the
+    program.
+    """
+    bpc = dram.bytes_per_cycle
+    latency = dram.burst_latency_cycles
+    channel_ids = {channel: i for i, channel in enumerate(CHANNELS)}
+    token_ids: dict[str, int] = {}
+
+    def token_id(token: str) -> int:
+        existing = token_ids.get(token)
+        if existing is None:
+            existing = token_ids[token] = len(token_ids)
+        return existing
+
+    unit_actions: list[list[int]] = []
+    busy: dict[str, int] = {}
+    traffic: dict[str, tuple[int, int, int, int]] = {}
+    dram_busy = 0
+    for unit in UNITS:
+        ops = queues.get(unit, [])
+        chain: list[int] = []
+        unit_busy = 0
+        reads = writes = read_tx = write_tx = 0
+        for op in ops:
+            for token in op.wait:
+                chain.append(_pack(WAIT, token_id(token)))
+            if isinstance(op, AcquireOp):
+                chain.append(_pack(CREDIT_WAIT, channel_ids[op.channel]))
+            elif isinstance(op, PopOp):
+                chain.append(_pack(GET, channel_ids[op.channel]))
+            elif isinstance(op, ReleaseOp):
+                chain.append(_pack(CREDIT_SIGNAL, channel_ids[op.channel]))
+            elif isinstance(op, PushOp):
+                chain.append(_pack(PUT, channel_ids[op.channel]))
+            elif isinstance(op, (DmaOp, AccumWritebackOp)):
+                is_load = isinstance(op, DmaOp) and op.direction == "load"
+                if is_load:
+                    reads += op.num_bytes
+                    read_tx += 1
+                else:
+                    writes += op.num_bytes
+                    write_tx += 1
+                if op.num_bytes:
+                    occ = _occupancy(op.num_bytes, bpc)
+                    dram_busy += occ
+                    chain.append(_pack(DRAM_REQ))
+                    chain.append(_pack(TIMEOUT, occ))
+                    chain.append(_pack(DRAM_REL, latency))
+            else:
+                cycles = op_cycles(op)
+                if cycles:
+                    unit_busy += cycles
+                    # Deliberately NOT merged with an adjacent TIMEOUT:
+                    # see the module docstring — the second hop's heap
+                    # insertion order is part of the observable
+                    # semantics when another unit's timer matures on
+                    # the same cycle.
+                    chain.append(_pack(TIMEOUT, cycles))
+            for token in op.signal:
+                chain.append(_pack(SIGNAL, token_id(token)))
+        chain.append(_pack(END))
+        unit_actions.append(chain)
+        busy[unit] = unit_busy
+        traffic[unit] = (reads, writes, read_tx, write_tx)
+    timed_actions = sum(
+        1 for chain in unit_actions for action in chain
+        if (action & 15) == TIMEOUT
+        or ((action & 15) == DRAM_REL and action >> 4))
+    seq_bits = max(timed_actions, 1).bit_length() + 1
+    return CoalescedPlan(unit_actions, len(token_ids), seq_bits,
+                         busy, traffic, dram_busy)
+
+
+def run_plan(plan: CoalescedPlan) -> int:
+    """Replay the action chains; returns the end-to-end cycle count.
+
+    Operationally mirrors ``Environment.run`` driving six
+    ``unit_process`` generators (see the module docstring for the
+    order-equivalence argument). Raises :class:`DeadlockSuspension`
+    when the event structures drain with chains unfinished.
+
+    The branch structure below is deliberately flat and local-heavy:
+    this loop *is* the simulator, and on a million-edge program it
+    executes a few tens of thousands of actions per run.
+    """
+    chains = plan.unit_actions
+    num_units = len(chains)
+    pcs = [0] * num_units
+    #: Units whose chain reached its END sentinel (a blocked unit can
+    #: share a finished unit's pc, so completion is tracked explicitly).
+    done = [False] * num_units
+
+    now = 0
+    seq = 0
+    # Heap entries are single packed ints ``(wake << time_shift) |
+    # (seq << 4) | unit`` — integer comparison is exactly the process
+    # kernel's (time, sequence) lexicographic order because the fields
+    # occupy disjoint bit ranges and ``seq`` cannot overflow its field
+    # (``seq_bits`` covers the total number of timed actions).
+    time_shift = plan.seq_bits + 4
+    heap: list[int] = []
+    #: Maturity of the earliest pending timer (the hoisted ``heap[0]``
+    #: deadline); ``_NEVER`` when the heap is empty.
+    next_wake = _NEVER
+    # Zero-delay ready lane; seeded in launch order exactly as
+    # ``GNNerator.simulate`` spawns the unit processes.
+    fast: deque[int] = deque(range(num_units))
+    fast_append = fast.append
+    fast_popleft = fast.popleft
+
+    # None = never referenced, True = signalled, list = FIFO waiters.
+    tokens: list[object] = [None] * plan.num_tokens
+    num_channels = len(CHANNELS)
+    credits = [DOUBLE_BUFFER_CREDITS] * num_channels
+    credit_waiters = [deque() for _ in range(num_channels)]
+    store_items = [0] * num_channels
+    store_capacity = [max(DOUBLE_BUFFER_CREDITS, 1)] * num_channels
+    store_getters = [deque() for _ in range(num_channels)]
+    store_putters = [deque() for _ in range(num_channels)]
+    dram_free = True
+    dram_waiters: deque[int] = deque()
+
+    while True:
+        if heap and (not fast or next_wake <= now):
+            entry = heappop(heap)
+            unit = entry & 15
+            now = entry >> time_shift
+            next_wake = (heap[0] >> time_shift) if heap else _NEVER
+            # A matured timer wakes its unit via the ready lane unless
+            # nothing else is pending (inline continuation: the
+            # park-and-pop would be a no-op, so run the unit directly).
+            if fast or next_wake <= now:
+                fast_append(unit)
+                continue
+        elif fast:
+            unit = fast_popleft()
+        else:
+            break
+
+        chain = chains[unit]
+        pc = pcs[unit]
+        while True:
+            action = chain[pc]
+            kind = action & 15
+            arg = action >> 4
+            if kind == TIMEOUT:
+                pc += 1
+                wake = now + arg
+                # Inline time advance: if nothing is ready and every
+                # pending timer matures strictly later, the entry we
+                # would push is the next one popped — skip the heap and
+                # keep executing (see the module docstring).
+                if not fast and next_wake > wake:
+                    now = wake
+                    continue
+                seq += 1
+                heappush(heap, (wake << time_shift) | (seq << 4) | unit)
+                if wake < next_wake:
+                    next_wake = wake
+                break
+            if kind == DRAM_REQ:
+                if dram_free:
+                    if not fast and next_wake > now:
+                        # The grant round trip is elidable; try the
+                        # whole burst inline (grant, occupy, release —
+                        # nothing else can run before the occupancy
+                        # ends when every pending timer matures after
+                        # it, so holding the port is unobservable).
+                        wake = now + (chain[pc + 1] >> 4)
+                        if next_wake > wake:
+                            latency = chain[pc + 2] >> 4
+                            pc += 3
+                            now = wake
+                            if latency:
+                                wake = now + latency
+                                if next_wake > wake:
+                                    now = wake
+                                    continue
+                                seq += 1
+                                heappush(heap, (wake << time_shift)
+                                         | (seq << 4) | unit)
+                                if wake < next_wake:
+                                    next_wake = wake
+                                break
+                            continue
+                        # Grant inline, but the occupancy must sleep on
+                        # the heap (a timer matures during the burst).
+                        dram_free = False
+                        pc += 2
+                        seq += 1
+                        heappush(heap, (wake << time_shift)
+                                 | (seq << 4) | unit)
+                        if wake < next_wake:
+                            next_wake = wake
+                        break
+                    dram_free = False
+                    pc += 1
+                    fast_append(unit)
+                    break
+                dram_waiters.append(unit)
+                pc += 1
+                break
+            if kind == DRAM_REL:
+                # Mirror DramChannel.transfer: release the port (the
+                # oldest waiter inherits it) before the latency sleep.
+                if dram_waiters:
+                    fast_append(dram_waiters.popleft())
+                else:
+                    dram_free = True
+                pc += 1
+                if arg:
+                    wake = now + arg
+                    if not fast and next_wake > wake:
+                        now = wake
+                        continue
+                    seq += 1
+                    heappush(heap,
+                             (wake << time_shift) | (seq << 4) | unit)
+                    if wake < next_wake:
+                        next_wake = wake
+                    break
+                continue
+            if kind == CREDIT_WAIT:
+                if credits[arg] > 0:
+                    credits[arg] -= 1
+                    pc += 1
+                    if fast or next_wake <= now:
+                        fast_append(unit)
+                        break
+                    continue
+                credit_waiters[arg].append(unit)
+                pc += 1
+                break
+            if kind == CREDIT_SIGNAL:
+                waiters = credit_waiters[arg]
+                if waiters:
+                    fast_append(waiters.popleft())
+                else:
+                    credits[arg] += 1
+                pc += 1
+                continue
+            if kind == PUT:
+                getters = store_getters[arg]
+                if getters:
+                    # Mirror Store.put: the waiting getter's resume is
+                    # scheduled first, then the putter's own (its done
+                    # event was triggered synchronously, so its yield
+                    # costs one ready-lane trip — never inline, the
+                    # getter is already queued ahead of it).
+                    fast_append(getters.popleft())
+                    fast_append(unit)
+                    pc += 1
+                    break
+                if store_items[arg] < store_capacity[arg]:
+                    store_items[arg] += 1
+                    pc += 1
+                    if fast or next_wake <= now:
+                        fast_append(unit)
+                        break
+                    continue
+                store_putters[arg].append(unit)
+                pc += 1
+                break
+            if kind == GET:
+                if store_items[arg]:
+                    putters = store_putters[arg]
+                    if putters:
+                        # Mirror Store.get: the blocked putter's item
+                        # takes the freed slot and its resume precedes
+                        # the getter's own ready-lane trip.
+                        fast_append(putters.popleft())
+                        fast_append(unit)
+                        pc += 1
+                        break
+                    store_items[arg] -= 1
+                    pc += 1
+                    if fast or next_wake <= now:
+                        fast_append(unit)
+                        break
+                    continue
+                store_getters[arg].append(unit)
+                pc += 1
+                break
+            if kind == WAIT:
+                state = tokens[arg]
+                if state is None:
+                    tokens[arg] = [unit]
+                    pc += 1
+                    break
+                if state is True:
+                    pc += 1
+                    if fast or next_wake <= now:
+                        fast_append(unit)
+                        break
+                    continue
+                state.append(unit)
+                pc += 1
+                break
+            if kind == SIGNAL:
+                state = tokens[arg]
+                if state is not True:
+                    if state:
+                        fast.extend(state)
+                    tokens[arg] = True
+                pc += 1
+                continue
+            if kind == END:
+                done[unit] = True
+                break
+            raise SimulationError(f"unknown action kind {kind!r}")
+        pcs[unit] = pc
+
+    if not all(done):
+        stuck = [UNITS[i] for i in range(num_units) if not done[i]]
+        raise DeadlockSuspension(stuck, now)
+    return now
+
+
+class DeadlockSuspension(SimulationError):
+    """Raised by :func:`run_plan` when chains remain unfinished; carries
+    the stuck unit names so callers can re-raise their usual error."""
+
+    def __init__(self, stuck: list[str], cycles: int) -> None:
+        super().__init__(f"coalesced simulation deadlocked; unfinished "
+                         f"units: {stuck}")
+        self.stuck = stuck
+        self.cycles = cycles

@@ -304,8 +304,27 @@ def smoke_plan() -> SweepPlan:
     ))
 
 
+def scale_plan() -> SweepPlan:
+    """The million-edge scale-up grid: flickr on every platform (with
+    and without blocking) plus the reddit-s GCN point. Warm-cache cost
+    is dominated by the one reddit-s compile (~5s); the first-ever run
+    additionally pays dataset synthesis (~12s total)."""
+    flickr_gcn = WorkloadSpec(dataset="flickr", network="gcn")
+    flickr_gat = WorkloadSpec(dataset="flickr", network="gat")
+    reddit_gcn = WorkloadSpec(dataset="reddit-s", network="gcn")
+    return SweepPlan("scale", (
+        point_for(flickr_gcn, "gnnerator"),
+        point_for(flickr_gcn.with_block(None), "gnnerator"),
+        point_for(flickr_gcn, "gpu"),
+        point_for(flickr_gcn, "hygcn"),
+        point_for(flickr_gat, "gnnerator"),
+        point_for(reddit_gcn, "gnnerator"),
+    ))
+
+
 #: Plan registry for the ``repro sweep`` CLI.
-PLAN_NAMES = ("fig3", "fig4", "fig5", "table1", "table5", "smoke", "all")
+PLAN_NAMES = ("fig3", "fig4", "fig5", "table1", "table5", "smoke",
+              "scale", "all")
 
 
 def build_plan(name: str, seed: int = 0,
@@ -326,6 +345,7 @@ def build_plan(name: str, seed: int = 0,
         "table1": table1_plan,
         "table5": table5_plan,
         "smoke": smoke_plan,
+        "scale": scale_plan,
     }
     if name == "all":
         plan = SweepPlan.merged("all", fig3_plan(), fig4_plan(),

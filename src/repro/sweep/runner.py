@@ -141,24 +141,35 @@ def _worker_run(point: SweepPoint) -> PointResult:
     return run_point(point, _harness_for(point.seed, _WORKER_HARNESSES))
 
 
-def _fork_context():
-    """The ``fork`` multiprocessing context, or None where unavailable
-    (then the platform default start method is used)."""
+def _spawn_context():
+    """The ``spawn`` multiprocessing context, or None where unavailable
+    (then the platform default start method is used).
+
+    ``spawn`` is chosen over ``fork`` deliberately: forked workers
+    inherit the parent's memoized Harness caches — graphs, compiled
+    programs, shard grids — as copy-on-write pages that the worker
+    never reads but whose refcount updates steadily dirty, a pure waste
+    at million-edge scale where one cached graph is hundreds of MB.
+    Spawned workers start clean and load datasets from the persistent
+    on-disk cache (~tens of ms), which :func:`_preload_datasets` warms
+    in the parent first.
+    """
     try:
-        return multiprocessing.get_context("fork")
+        return multiprocessing.get_context("spawn")
     except ValueError:
         return None
 
 
 def _preload_datasets(points) -> None:
-    """Load every swept dataset once, in the parent.
+    """Synthesize every swept dataset once, in the parent.
 
-    Forked workers inherit the populated in-memory cache, so N workers
-    don't each re-load a dataset before their first point (a first-ever
-    Pubmed synthesis costs ~2.4s; afterwards the persistent on-disk
-    dataset cache serves any process in ~40ms). Unknown datasets are
-    skipped: the owning point must fail *in its worker* so the error
-    stays isolated to that point.
+    Spawned workers share nothing in memory, but the first load of a
+    dataset writes the persistent on-disk cache (``.dataset-cache/``),
+    so warming it here means N workers each pay a ~tens-of-ms cache
+    read instead of racing N full syntheses (a cold Pubmed costs
+    ~2.4s, a cold reddit-s ~10s). Unknown datasets are skipped: the
+    owning point must fail *in its worker* so the error stays isolated
+    to that point.
     """
     from repro.graph.datasets import load_dataset
 
@@ -192,12 +203,14 @@ class ProcessPoolScheduler:
             return [run_point(p, _harness_for(p.seed, store))
                     for p in points]
         workers = min(self.jobs, len(points))
-        chunksize = max(1, len(points) // (workers * 4))
-        context = _fork_context()
-        if context is not None:
-            _preload_datasets(points)
+        # Tuned for spawn-cost amortisation: ~4 chunks per worker keeps
+        # the tail balanced while each (expensive-to-start) worker gets
+        # enough points per IPC round trip; ceil-div so a short plan
+        # never degenerates to chunksize 0.
+        chunksize = max(1, -(-len(points) // (workers * 4)))
+        _preload_datasets(points)
         with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
+                                 mp_context=_spawn_context()) as pool:
             return list(pool.map(_worker_run, points,
                                  chunksize=chunksize))
 

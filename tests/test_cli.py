@@ -108,10 +108,14 @@ class TestPerfCommand:
         table = capsys.readouterr().out
         assert "tiny-gcn" in table and "total_s" in table
         payload = json.loads(out.read_text())
-        row = payload["tiny-gcn"]
+        meta = payload["meta"]
+        assert meta["python"] and meta["numpy"]
+        assert meta["cpu_count"] >= 1
+        row = payload["workloads"]["tiny-gcn"]
         assert set(row) >= {"load_s", "compile_s", "simulate_s",
-                            "total_s", "cycles"}
+                            "total_s", "cycles", "peak_mb"}
         assert row["cycles"] > 0
+        assert row["peak_mb"] > 0
         assert row["total_s"] >= row["compile_s"]
 
     def test_perf_check_passes_against_generous_baseline(self, tmp_path,
@@ -132,7 +136,7 @@ class TestPerfCommand:
                      "--output", str(baseline)]) == 0
         capsys.readouterr()
         payload = json.loads(baseline.read_text())
-        payload["tiny-gcn"]["total_s"] = 1e-9  # impossible budget
+        payload["workloads"]["tiny-gcn"]["total_s"] = 1e-9  # impossible
         baseline.write_text(json.dumps(payload))
         assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
                      "--output", "", "--check", str(baseline)]) == 1
@@ -144,7 +148,7 @@ class TestPerfCommand:
                      "--output", str(baseline)]) == 0
         capsys.readouterr()
         payload = json.loads(baseline.read_text())
-        payload["tiny-gcn"]["cycles"] += 1
+        payload["workloads"]["tiny-gcn"]["cycles"] += 1
         baseline.write_text(json.dumps(payload))
         assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
                      "--output", "", "--check", str(baseline)]) == 1
@@ -174,6 +178,55 @@ class TestPerfCommand:
                      "--threshold", "1000"]) == 0
         assert "skipped writing" in capsys.readouterr().out
         assert baseline.read_bytes() == before
+
+    def test_perf_check_accepts_legacy_flat_baseline(self, tmp_path,
+                                                     capsys):
+        """Pre-fingerprint baselines (rows at the top level) still
+        check, with a host-mismatch warning since the measuring
+        machine is unknown."""
+        baseline = tmp_path / "baseline.json"
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        baseline.write_text(json.dumps(payload["workloads"]))  # flatten
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", "", "--check", str(baseline),
+                     "--threshold", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "no host fingerprint" in out
+        assert "no regressions" in out
+
+    def test_perf_check_warns_on_fingerprint_mismatch(self, tmp_path,
+                                                      capsys):
+        """A baseline from a different machine still gates on cycles
+        but flags its wall-time budgets as indicative."""
+        baseline = tmp_path / "baseline.json"
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        payload["meta"]["cpu_count"] = 12345
+        baseline.write_text(json.dumps(payload))
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", "", "--check", str(baseline),
+                     "--threshold", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "different host" in out and "cpu_count" in out
+
+    def test_perf_no_coalesce_measures_same_cycles(self, tmp_path,
+                                                   capsys):
+        """The per-operation kernel is still reachable for before/after
+        comparisons and must report identical cycles."""
+        fast = tmp_path / "fast.json"
+        slow = tmp_path / "slow.json"
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--output", str(fast)]) == 0
+        assert main(["perf", "--datasets", "tiny", "--networks", "gcn",
+                     "--no-coalesce", "--output", str(slow)]) == 0
+        fast_row = json.loads(fast.read_text())["workloads"]["tiny-gcn"]
+        slow_row = json.loads(slow.read_text())["workloads"]["tiny-gcn"]
+        assert fast_row["cycles"] == slow_row["cycles"]
 
     def test_perf_check_missing_baseline_exits_cleanly(self, tmp_path):
         with pytest.raises(SystemExit) as excinfo:

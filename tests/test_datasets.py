@@ -22,6 +22,10 @@ TABLE2 = {
     "pubmed": (19717, 88648, 500),
     # Not in the paper: the CI/DSE smoke dataset.
     "tiny": (64, 256, 32),
+    # Not in the paper: the million-edge scale-up workloads, pinned to
+    # the published sizes of Flickr (GraphSAINT) and Reddit.
+    "flickr": (89250, 899756, 500),
+    "reddit-s": (232965, 11606920, 602),
 }
 
 
@@ -115,6 +119,61 @@ class TestLoading:
             feature_density=stats.feature_density)
         assert _dataset_cache_load(path, wrong) is not None
         assert _dataset_cache_load(path, bigger) is None
+
+    def test_disk_cache_truncated_entry_is_a_miss(self, tmp_path,
+                                                  monkeypatch):
+        """A truncated structure npz — a crashed writer, a torn disk —
+        must read as a miss and be re-synthesised, mirroring
+        ``ResultCache.get``'s any-read-error-is-a-miss contract."""
+        monkeypatch.setenv(DATASET_CACHE_ENV, str(tmp_path))
+        stats = dataset_stats("tiny")
+        datasets_module._synthesize.__wrapped__("tiny")
+        path = _dataset_cache_path(stats, 53)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        assert _dataset_cache_load(path, stats) is None
+        graph = datasets_module._synthesize.__wrapped__("tiny")
+        assert graph.num_nodes == stats.num_nodes
+        # ...and the store path healed the entry for the next reader.
+        assert _dataset_cache_load(path, stats) is not None
+
+    def test_disk_cache_truncated_features_sidecar_is_a_miss(
+            self, tmp_path, monkeypatch):
+        """Same for the features ``.npy`` sidecar — including the
+        memory-mapped load path, where a short file must never reach
+        the point of faulting past EOF."""
+        monkeypatch.setenv(DATASET_CACHE_ENV, str(tmp_path))
+        monkeypatch.setattr(datasets_module, "LARGE_DATASETS",
+                            ("tiny",))  # force the mmap path
+        stats = dataset_stats("tiny")
+        datasets_module._synthesize.__wrapped__("tiny")
+        path = _dataset_cache_path(stats, 53)
+        sidecar = datasets_module._features_path(path)
+        blob = sidecar.read_bytes()
+        sidecar.write_bytes(blob[:len(blob) // 2])
+        assert _dataset_cache_load(path, stats) is None
+        sidecar.unlink()  # missing sidecar entirely is a miss too
+        assert _dataset_cache_load(path, stats) is None
+
+    def test_large_dataset_features_are_memory_mapped(self, tmp_path,
+                                                      monkeypatch):
+        """Datasets in LARGE_DATASETS load their features as read-only
+        memmaps: no second in-memory copy, and accidental mutation of
+        the shared cache graph raises instead of corrupting."""
+        monkeypatch.setenv(DATASET_CACHE_ENV, str(tmp_path))
+        monkeypatch.setattr(datasets_module, "LARGE_DATASETS",
+                            ("tiny",))
+        fresh = datasets_module._synthesize.__wrapped__("tiny")
+        stats = dataset_stats("tiny")
+        path = _dataset_cache_path(stats, 53)
+        cached = _dataset_cache_load(path, stats)
+        assert cached is not None
+        base = cached.features.base
+        assert isinstance(base, np.memmap) or isinstance(
+            cached.features, np.memmap)
+        assert np.array_equal(cached.features, fresh.features)
+        with pytest.raises((ValueError, OSError)):
+            cached.features[0, 0] = 99.0
 
     def test_disk_cache_disabled_by_env(self, monkeypatch):
         monkeypatch.setenv(DATASET_CACHE_ENV, "off")

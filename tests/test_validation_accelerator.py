@@ -111,8 +111,14 @@ class TestSimulation:
         accelerator = GNNerator(config)
         program = accelerator.compile(graph, gcn)
         program.queues["dense.fetch"][0].add_wait("never")
+        # Mutating a compiled program violates its immutability contract;
+        # drop the precompiled simulation plan so both kernels see the
+        # corruption.
+        program._coalesced_plans.clear()
         with pytest.raises(DeadlockError):
             accelerator.simulate(program)
+        with pytest.raises(DeadlockError):
+            accelerator.simulate(program, coalesce=False)
 
     def test_compute_cycles_lower_bound(self, graph, gcn):
         """Elapsed time can't beat the busiest unit's serial work."""
