@@ -79,6 +79,56 @@ def _cmd_table5(_: argparse.Namespace) -> str:
     return render_table5(table5_hygcn())
 
 
+def _cache_hierarchy_table() -> list[dict[str, str]]:
+    """One row per persistent cache layer (see DESIGN.md §6), with the
+    live on-disk entry count so ``repro configs`` doubles as a cache
+    inspector."""
+    from repro.compiler.store import (
+        DEFAULT_PROGRAM_CACHE,
+        PROGRAM_CACHE_ENV,
+        default_program_store,
+    )
+    from repro.graph.datasets import (
+        DATASET_CACHE_ENV,
+        DEFAULT_DATASET_CACHE,
+        _dataset_cache_dir,
+    )
+
+    def count(root: Path | None, suffix: str) -> str:
+        if root is None:
+            return "disabled"
+        if not Path(root).exists():
+            return "0"
+        return str(sum(1 for _ in Path(root).rglob(f"*{suffix}")))
+
+    store = default_program_store()
+    dataset_dir = _dataset_cache_dir()
+    return [
+        {"layer": "dataset cache",
+         "env var": DATASET_CACHE_ENV,
+         "default": DEFAULT_DATASET_CACHE,
+         "entries": count(dataset_dir, ".npz"),
+         "keyed by": "graph recipe + generator source hash"},
+        {"layer": "compiled-program store",
+         "env var": PROGRAM_CACHE_ENV,
+         "default": DEFAULT_PROGRAM_CACHE,
+         "entries": count(store.root if store else None, ".pkl"),
+         "keyed by": "dataset + workload + compile-relevant config "
+                     "+ repro/ source hash"},
+        {"layer": "sweep result cache",
+         "env var": "(--cache-dir)",
+         "default": ".sweep-cache",
+         "entries": count(Path(".sweep-cache"), ".json"),
+         "keyed by": "sweep point + repro/ source hash"},
+        {"layer": "in-process memos",
+         "env var": "(always on)",
+         "default": "per process",
+         "entries": "-",
+         "keyed by": "harness program/dataset keys, per-graph grids "
+                     "+ weights"},
+    ]
+
+
 def _cmd_configs(_: argparse.Namespace) -> str:
     parts = [
         format_table(dataset_table(), title="Table II — graph datasets"),
@@ -89,6 +139,9 @@ def _cmd_configs(_: argparse.Namespace) -> str:
         format_table(area_energy_table(),
                      title="Derived models — silicon area and energy "
                            "(the DSE objectives)"),
+        format_table(_cache_hierarchy_table(),
+                     title="Cache hierarchy — what is reused between "
+                           "runs (DESIGN.md §6)"),
     ]
     return "\n\n".join(parts)
 
@@ -182,15 +235,39 @@ def _cmd_perf(args: argparse.Namespace) -> str:
         baseline = hostperf.load_benchmark(baseline_path)
     from repro.eval.hostperf import DEFAULT_DATASETS, DEFAULT_NETWORKS
 
+    from repro.compiler.lowering import full_lowering_count
+    from repro.compiler.store import default_program_store
+    from repro.graph.datasets import disk_cache_stats
+
+    store = None if args.no_program_cache else default_program_store()
+    lowerings_before = full_lowering_count()
     datasets = tuple(args.datasets or DEFAULT_DATASETS)
     networks = tuple(args.networks or DEFAULT_NETWORKS)
     workloads = hostperf.measure(datasets=datasets,
                                  networks=networks,
                                  hidden_dim=args.hidden_dim,
                                  repeat=args.repeat,
-                                 coalesce=not args.no_coalesce)
-    payload = hostperf.build_payload(workloads)
+                                 coalesce=not args.no_coalesce,
+                                 program_store=store)
+    caches = {
+        "full_lowerings": full_lowering_count() - lowerings_before,
+        "dataset_disk": disk_cache_stats(),
+        "program_store": None if store is None else dict(
+            store.stats, root=str(store.root), entries=len(store)),
+    }
+    payload = hostperf.build_payload(workloads, caches=caches)
     lines = [hostperf.render(payload)]
+    if store is None:
+        lines.append("program store: disabled (--no-program-cache)")
+    else:
+        lines.append(
+            f"program store: {store.hits} hit(s), {store.misses} "
+            f"miss(es), {caches['program_store']['entries']} entries "
+            f"at {store.root}")
+    lines.append(f"full lowerings this run: {caches['full_lowerings']}; "
+                 f"dataset disk cache: "
+                 f"{caches['dataset_disk']['hits']} hit(s), "
+                 f"{caches['dataset_disk']['misses']} miss(es)")
     output = args.output
     if output is None:
         # The default target is the committed baseline; only write it
@@ -476,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="time the per-operation event kernel instead "
                            "of the coalesced replay (identical cycles; "
                            "the before/after lever for simulate_s)")
+    perf.add_argument("--no-program-cache", action="store_true",
+                      help="bypass the persistent compiled-program "
+                           "store so compile_s measures pure cold "
+                           "compiles (identical cycles)")
     perf.add_argument("--output", "-o", default=None,
                       help="write the JSON payload here (default: "
                            "BENCH_host.json when measuring the full "

@@ -17,11 +17,42 @@ credits (see :mod:`repro.compiler.ir`). Emission order respects data
 dependencies, so the functional runtime can interpret ``program.order``
 sequentially while the DES extracts all the pipeline overlap the token
 graph allows.
+
+Compile-product dependency keys
+-------------------------------
+
+Incremental recompilation (DESIGN.md §6) rests on each compile product
+being keyed by exactly the inputs it depends on — nothing in this
+module may read an input its product's cache key omits:
+
+* **shard grids** — ``(graph, usable src/dst/edge buffer bytes,
+  feature block)``, resolving to ``(graph, interval size)``; memoized
+  on the graph by :func:`repro.graph.partition.plan_shards`. GPE
+  count, SIMD width, and everything dense/DRAM are *not* inputs.
+* **baked aggregation weights** — static forms depend on
+  ``(graph, stage)`` only; attention forms on ``(graph, params,
+  model)`` via the shadow execution. No config input at all, so every
+  DSE candidate shares them (module-level weak-keyed memos below).
+* **operation queues / cycles** — the full compile-relevant config
+  projection (:func:`repro.config.overrides.compile_relevant_config`):
+  dense shape/dataflow/buffers, GPE count, SIMD width, pipeline
+  depth, buffer budgets, sparsity elimination, feature block. Clock
+  frequencies and the DRAM section are simulate-only and excluded —
+  which is what lets ``Harness._compiled`` and the persistent program
+  store (:mod:`repro.compiler.store`) serve DRAM-only DSE variants
+  from one compiled program.
+
+:func:`full_lowering_count` counts complete :meth:`Lowering.compile`
+runs in this process — the observable CI and the cache tests use to
+assert "recompiled nothing".
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -66,6 +97,39 @@ from repro.graph.partition import ShardGrid, plan_shards
 from repro.models.layers import Parameters, dense_forward, init_parameters
 from repro.models.reference import apply_aggregate
 from repro.models.stages import AggregateStage, ExtractStage, GNNModel
+
+
+#: Process-wide count of full :meth:`Lowering.compile` executions.
+#: Program-store hits, harness memo hits, and weight-memo hits all
+#: avoid incrementing it — tests and the CI warm-run check read it to
+#: verify a cached path really compiled nothing.
+_FULL_LOWERINGS = 0
+
+
+def full_lowering_count() -> int:
+    """How many times this process ran the full lowering pass."""
+    return _FULL_LOWERINGS
+
+
+#: Static aggregation weights per graph: ``graph -> {stage: (edge_w,
+#: self_w)}``. An :class:`AggregateStage` is a frozen dataclass, so
+#: equal stages (e.g. both GCN layers' sum/symmetric-norm stage) share
+#: one entry; weak-keyed so dropping a graph drops its weights. Sound
+#: to share across compiles: consumers only gather from these arrays,
+#: never write into them.
+_STATIC_WEIGHTS_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+
+#: Baked attention coefficients per (graph, params): ``graph ->
+#: params -> {model: {(layer, stage): (edge_w, self_w)}}``. Attention
+#: weights are computed from the shadow reference execution, a pure
+#: function of (graph, params, model) — independent of every config
+#: knob — so a complete per-model entry lets a recompile skip the
+#: shadow entirely (the dominant cost of GAT compiles).
+_ATTENTION_WEIGHTS_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+
+#: Below this many grid edges the thread-pool prewarm of per-shard
+#: statistics costs more than it saves.
+_PREWARM_MIN_EDGES = 100_000
 
 
 @dataclass(frozen=True)
@@ -135,6 +199,18 @@ class Lowering:
         self._needs_shadow = any(
             isinstance(stage, AggregateStage) and stage.needs_features
             for layer in model.layers for stage in layer.stages)
+        # A complete set of previously baked attention coefficients for
+        # this (graph, params, model) makes the shadow unnecessary: the
+        # coefficients are its only output the compiler consumes.
+        self._baked_attention: dict | None = None
+        self._fresh_attention: dict = {}
+        if self._needs_shadow:
+            per_params = _ATTENTION_WEIGHTS_MEMO.get(graph)
+            baked = (per_params.get(params, {}).get(model)
+                     if per_params is not None else None)
+            if baked is not None:
+                self._baked_attention = baked
+                self._needs_shadow = False
         self._shadow_h = graph.features if self._needs_shadow else None
         self._shadow_layer_input = self._shadow_h
 
@@ -181,6 +257,8 @@ class Lowering:
     # Top level
     # ------------------------------------------------------------------
     def compile(self) -> Program:
+        global _FULL_LOWERINGS
+        _FULL_LOWERINGS += 1
         program = self.program
         program.declare_array(program.input_array, self.model.in_dim)
         current = ValueRef(program.input_array, Coverage())
@@ -196,6 +274,7 @@ class Lowering:
                     program.grids[(layer_index, stage_index)] = grid
                     program.plans[(layer_index, stage_index, "main")] = (
                         plan_blocks(stage.dim, self.feature_block))
+                    self._prewarm_shards(grid)
             completions: dict[int, list[tuple[int, int]]] = {}
             for stage_index, stage in enumerate(layer.stages):
                 if isinstance(stage, AggregateStage):
@@ -207,7 +286,53 @@ class Lowering:
                         layer_index, stage_index, stage, current,
                         layer_input, layer, completions)
         program.output_array = current.array
+        if self._fresh_attention:
+            per_params = _ATTENTION_WEIGHTS_MEMO.get(self.graph)
+            if per_params is None:
+                per_params = WeakKeyDictionary()
+                _ATTENTION_WEIGHTS_MEMO[self.graph] = per_params
+            per_params.setdefault(program.params, {})[self.model] = dict(
+                self._fresh_attention)
         return program
+
+    def _prewarm_shards(self, grid: ShardGrid) -> None:
+        """Warm per-shard statistics in parallel before serial emission.
+
+        Emission reads one expensive statistic per non-empty shard —
+        the worst-GPE edge load (plus the distinct-source count under
+        sparsity elimination). Each lands in a per-shard cache keyed by
+        its own inputs, and each shard is touched by exactly one task,
+        so computing them on a thread pool first is a pure wall-time
+        win: emission then finds every value warm, and the values are
+        bit-identical to the serial path (§4 cycle-neutrality). Skipped
+        for small grids where pool startup would dominate.
+        """
+        if grid.num_edges < _PREWARM_MIN_EDGES:
+            return
+        num_gpes = self.config.graph.num_gpes
+        sparsity = self.config.sparsity_elimination
+        # Materialize views serially (O(1) each) so threads never race
+        # on the grid's view cache, then keep only shards with work.
+        pending = [
+            shard for shard in grid.iter_shards()
+            if num_gpes not in shard._gpe_loads
+            or (sparsity and shard._distinct_sources is None)
+        ]
+        if len(pending) < 2:
+            return
+
+        def warm(shard):
+            max_gpe_edges(shard, num_gpes)
+            if sparsity:
+                shard.distinct_sources()
+
+        workers = min(8, os.cpu_count() or 1, len(pending))
+        if workers < 2:
+            for shard in pending:
+                warm(shard)
+            return
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(warm, pending))
 
     def _block_for(self, dim: int) -> int:
         if self.feature_block is None:
@@ -382,14 +507,34 @@ class Lowering:
         compute softmax coefficients from the shadow features flowing
         into the stage plus the learned (a_src, a_dst) vectors — the
         compiler then distributes them as ordinary per-shard edge data.
+
+        Both kinds are memoized across compiles (§ "Compile-product
+        dependency keys" above): static weights per (graph, stage),
+        attention coefficients per (graph, params, model, position) — a
+        recompile of the same workload under a different compute config
+        skips the entire shadow execution. The memoized arrays are the
+        bit-identical objects a fresh computation would produce, and the
+        runtime only ever gathers from them, so sharing is cycle-neutral.
         """
         if not stage.needs_features:
-            return stage.edge_weights(self.graph), \
-                stage.self_weights(self.graph)
+            memo = _STATIC_WEIGHTS_MEMO.get(self.graph)
+            if memo is None:
+                memo = {}
+                _STATIC_WEIGHTS_MEMO[self.graph] = memo
+            pair = memo.get(stage)
+            if pair is None:
+                pair = (stage.edge_weights(self.graph),
+                        stage.self_weights(self.graph))
+                memo[stage] = pair
+            return pair
+        if self._baked_attention is not None:
+            return self._baked_attention[(layer, stage_index)]
         attention = self.program.params.attention(layer, stage_index)
-        return stage.compute_weights(self.graph,
+        pair = stage.compute_weights(self.graph,
                                      features=self._shadow_h,
                                      attention=attention)
+        self._fresh_attention[(layer, stage_index)] = pair
+        return pair
 
     def _emit_partial_spill(self, layer: int, stage_index: int,
                             grid: ShardGrid, plan: BlockPlan,

@@ -1,4 +1,21 @@
-"""Compiled program container and traffic/cycle accounting."""
+"""Compiled program container and traffic/cycle accounting.
+
+A :class:`Program` is also the unit the persistent compiled-program
+store (:mod:`repro.compiler.store`) serializes: it is a pure function
+of ``(graph content, network, params seed, traversal, feature block,
+compile-relevant config)`` — see
+:func:`repro.config.overrides.compile_relevant_config` — and nothing
+else, which is exactly the store's content-address. Two fields get
+special treatment when persisted:
+
+* every :class:`~repro.graph.graph.Graph` reference (held by the shard
+  grids in ``grids``) is pickled *by dataset identity*, never by value,
+  and reattached to the loading process's graph object;
+* ``_coalesced_plans`` rides along as a bonus — chains depend only on
+  the op queues plus a DramConfig key, so entries cached for one DRAM
+  config remain valid for a program shared across DRAM-only DSE
+  variants, and any config not in the dict is rebuilt lazily.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,264 @@
+"""Persistent, content-addressed store of compiled programs.
+
+Compilation is now ~99% of host wall time (BENCH_host.json), yet a
+compiled :class:`~repro.compiler.program.Program` is a deterministic
+function of inputs that rarely change: the graph, the network, the
+parameter seed, the traversal, the feature block, and the
+compile-relevant slice of the platform config. This module memoizes
+that function *on disk*, modeled on the dataset cache
+(:mod:`repro.graph.datasets`) and the sweep result cache
+(:mod:`repro.sweep.cache`):
+
+* **content-addressed** — one pickle per program under
+  ``<root>/<2 hex>/<key>.pkl`` where the key is the SHA-256 of
+  ``(schema, compiler-source hash, dataset fingerprint, workload spec,
+  compile-relevant config projection)``. Any source edit under
+  ``repro/`` conservatively invalidates every entry; any knob the
+  compiler actually reads changes the key; knobs it does not read
+  (DRAM, clock frequencies — see
+  :func:`repro.config.overrides.compile_relevant_config`) do not.
+* **atomic** — writes go to a per-process temp file and publish with
+  ``os.replace``; readers only ever observe absent or complete
+  entries.
+* **race-tolerant** — *any* read failure (missing, truncated,
+  corrupt, wrong schema) is a miss; the broken entry is best-effort
+  dropped and healed by the next store. Two workers racing on the
+  same key write identical bytes; last writer wins.
+
+The graph itself is **never** serialized: the pickler persists every
+:class:`~repro.graph.graph.Graph` reference as its dataset name, and
+the unpickler reattaches the loading process's graph object (the
+shard grids then rebuild their sorted edge views with one O(|E|)
+gather — see ``ShardGrid.__getstate__``). Entries therefore stay
+orders of magnitude smaller than the feature matrices they index, and
+a memory-mapped million-edge feature matrix is never pulled through
+pickle. Workloads whose graph cannot be fingerprinted (real Planetoid
+files on disk) bypass the store entirely rather than risk stale keys.
+
+Disabled by pointing :data:`PROGRAM_CACHE_ENV` at ``0``/``off``/
+``none`` (or per-call: ``Harness(program_store=None)``,
+``repro perf --no-program-cache``); cleared by deleting the directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import itertools
+from pathlib import Path
+
+from repro.graph.graph import Graph
+
+#: Bump when the pickled layout (or anything about how entries are
+#: produced) changes incompatibly; old entries become misses.
+PROGRAM_SCHEMA = 1
+
+#: Environment variable pointing at the store; ``0``/``off``/``none``/
+#: empty disables it (mirrors the dataset cache's contract).
+PROGRAM_CACHE_ENV = "REPRO_PROGRAM_CACHE"
+
+#: Default on-disk location, next to ``.dataset-cache``/``.sweep-cache``.
+DEFAULT_PROGRAM_CACHE = ".program-cache"
+
+#: Uniquifies temp names when several threads of one process put at once.
+_PUT_SEQUENCE = itertools.count()
+
+
+def default_program_store() -> "ProgramStore | None":
+    """The environment-configured store, or None when disabled."""
+    value = os.environ.get(PROGRAM_CACHE_ENV)
+    if value is None:
+        value = DEFAULT_PROGRAM_CACHE
+    elif value.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return ProgramStore(value)
+
+
+def program_key_payload(*, dataset_fingerprint: str, network: str,
+                        hidden_dim: int, traversal: str,
+                        feature_block: int | None,
+                        params_seed: int,
+                        config_projection: tuple) -> dict:
+    """The canonical JSON-able key payload for one compiled program.
+
+    Everything compilation depends on, and nothing it does not:
+
+    * ``dataset_fingerprint`` — graph content, including the generator
+      source hash (:func:`repro.graph.datasets.dataset_fingerprint`);
+    * the workload: network name, hidden dim, traversal, resolved
+      feature block (an int or None — never the ``"config"`` sentinel);
+    * ``params_seed`` — parameters are ``init_parameters(model, seed)``,
+      so the seed stands in for the weight values;
+    * ``config_projection`` — the compile-relevant config slice
+      (:func:`repro.config.overrides.compile_relevant_config`).
+
+    The compiler-source hash and schema version are mixed in by
+    :meth:`ProgramStore.key`, not here.
+    """
+    return {
+        "dataset": dataset_fingerprint,
+        "network": network,
+        "hidden_dim": hidden_dim,
+        "traversal": traversal,
+        "feature_block": feature_block,
+        "params_seed": params_seed,
+        "config": [list(pair) for pair in config_projection],
+    }
+
+
+class _GraphPickler(pickle.Pickler):
+    """Persists ``Graph`` references as dataset ids instead of bytes."""
+
+    def __init__(self, handle, graph: Graph) -> None:
+        super().__init__(handle, protocol=5)
+        self._graph = graph
+
+    def persistent_id(self, obj):
+        if obj is self._graph:
+            return ("repro-graph", self._graph.name)
+        if isinstance(obj, Graph):
+            # A foreign graph object inside a program would deserialize
+            # against the wrong dataset; refuse to cache it.
+            raise pickle.PicklingError(
+                f"program references a graph ({obj.name!r}) other than "
+                f"the one it was keyed under ({self._graph.name!r})")
+        return None
+
+
+class _GraphUnpickler(pickle.Unpickler):
+    """Resolves persisted dataset ids back to the caller's graph."""
+
+    def __init__(self, handle, graph: Graph) -> None:
+        super().__init__(handle)
+        self._graph = graph
+
+    def persistent_load(self, pid):
+        kind, name = pid
+        if kind != "repro-graph" or name != self._graph.name:
+            raise pickle.UnpicklingError(
+                f"unexpected persistent id {pid!r} for graph "
+                f"{self._graph.name!r}")
+        return self._graph
+
+
+class ProgramStore:
+    """On-disk compiled-program cache, keyed by content.
+
+    Mirrors :class:`repro.sweep.cache.ResultCache`: the code version is
+    resolved at construction, ``code_root`` narrows the hashed tree so
+    tests can exercise key invalidation without touching the real
+    package, and ``hits``/``misses`` count this instance's lookups.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 code_version: str | None = None,
+                 code_root: str | os.PathLike | None = None) -> None:
+        from repro.sweep.cache import code_version_hash
+
+        self.root = Path(root)
+        self.code_version = (code_version if code_version is not None
+                             else code_version_hash(code_root))
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, payload: dict) -> str:
+        """Content address of one program under this code version."""
+        blob = json.dumps(
+            {"schema": PROGRAM_SCHEMA, "code": self.code_version,
+             "program": payload},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str, graph: Graph):
+        """The stored program for ``key`` rebuilt against ``graph``,
+        or None.
+
+        Fully race-tolerant: any failure to read or deserialize — a
+        missing file, a truncated write from a crashed worker, a
+        corrupt or incompatible pickle — is a miss, and the broken
+        entry is best-effort removed so the next compile heals it.
+        Loaded shard grids are registered in the graph's grid memo, so
+        a later cold compile against a different compute config still
+        reuses the scatter.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                program = _GraphUnpickler(handle, graph).load()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            try:
+                os.remove(path)
+            except OSError:
+                pass  # a sibling worker already removed it — fine
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._seed_grid_cache(program, graph)
+        return program
+
+    @staticmethod
+    def _seed_grid_cache(program, graph: Graph) -> None:
+        """Register loaded grids under the graph's plan_shards memo."""
+        cache = getattr(graph, "_shard_grid_cache", None)
+        if cache is None:
+            cache = graph._shard_grid_cache = {}
+        for grid in program.grids.values():
+            cache.setdefault(("interval", grid.interval_size), grid)
+
+    def put(self, key: str, program, graph: Graph) -> bool:
+        """Atomically persist ``program`` under ``key`` (best-effort).
+
+        Returns False (leaving no partial file behind) when the entry
+        cannot be written — an unpicklable program, a read-only cache
+        directory — since caching must never fail the compile that
+        produced the program.
+        """
+        path = self._path(key)
+        tmp = path.parent / (f".{key}.{os.getpid()}"
+                             f".{next(_PUT_SEQUENCE)}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            buffer = io.BytesIO()
+            _GraphPickler(buffer, graph).dump(program)
+            with open(tmp, "wb") as handle:
+                handle.write(buffer.getvalue())
+            os.replace(tmp, path)
+            return True
+        except Exception:
+            return False
+        finally:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass  # already replaced into place (or never created)
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

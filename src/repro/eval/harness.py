@@ -20,9 +20,11 @@ from repro.config.platforms import (
     hygcn_config,
     rtx_2080_ti_config,
 )
+from repro.config.overrides import compile_relevant_config
 from repro.config.workload import WorkloadSpec
 from repro.compiler.program import Program
-from repro.graph.datasets import dataset_stats
+from repro.compiler.store import default_program_store, program_key_payload
+from repro.graph.datasets import dataset_fingerprint, dataset_stats
 from repro.graph.graph import Graph
 from repro.models.layers import Parameters, init_parameters
 from repro.models.stages import GNNModel
@@ -67,16 +69,30 @@ class PlatformLatencies:
 
 
 class Harness:
-    """Shared-state experiment runner."""
+    """Shared-state experiment runner.
+
+    ``program_store`` selects the persistent compiled-program store
+    (:mod:`repro.compiler.store`): the default sentinel resolves it
+    from the environment (``REPRO_PROGRAM_CACHE``), ``None`` disables
+    persistence for this harness, and an explicit
+    :class:`~repro.compiler.store.ProgramStore` is used as given (tests
+    point one at a temp directory).
+    """
 
     #: Compiled programs kept per harness; evicted FIFO beyond this.
     PROGRAM_CACHE_MAX_ENTRIES = 64
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, program_store="default") -> None:
         self.seed = seed
         self._params: dict[tuple, Parameters] = {}
         self._datasets = DatasetCache()
         self._programs: dict[tuple, Program] = {}
+        self._fingerprints: dict[str, str | None] = {}
+        self._memo_hits = 0
+        self._memo_misses = 0
+        if program_store == "default":
+            program_store = default_program_store()
+        self.program_store = program_store
 
     # -- workload materialisation --------------------------------------
     def graph(self, dataset: str) -> Graph:
@@ -112,6 +128,12 @@ class Harness:
                     spec.feature_block)
         return config, "config"
 
+    def _fingerprint(self, dataset: str) -> str | None:
+        """Cached dataset fingerprint (None = not store-addressable)."""
+        if dataset not in self._fingerprints:
+            self._fingerprints[dataset] = dataset_fingerprint(dataset)
+        return self._fingerprints[dataset]
+
     def _compiled(self, spec: WorkloadSpec,
                   config: GNNeratorConfig,
                   feature_block: int | None | str) -> Program:
@@ -120,23 +142,59 @@ class Harness:
         Compilation is deterministic given (graph, model, params,
         config, traversal, block) and simulation never mutates the
         program, so sweep points and DSE candidates sharing a software
-        shape skip recompilation entirely. Keyed by the frozen spec and
-        config dataclasses; bounded FIFO to keep long searches from
-        pinning every program ever compiled.
+        shape skip recompilation entirely. Keyed by the *compile-
+        relevant* config projection rather than the full config, so DSE
+        candidates that differ only in simulate-only knobs (DRAM, clock
+        frequencies) share one program. In-process misses fall through
+        to the persistent program store before compiling, and fresh
+        compiles are published there; bounded FIFO to keep long
+        searches from pinning every program ever compiled.
         """
-        key = (spec, config, feature_block)
+        if feature_block == "config":
+            feature_block = config.feature_block
+        projection = compile_relevant_config(config)
+        key = (spec, projection, feature_block)
         program = self._programs.get(key)
+        if program is not None:
+            self._memo_hits += 1
+            return program
+        self._memo_misses += 1
+        graph = self.graph(spec.dataset)
+        store = self.program_store
+        store_key = None
+        if store is not None:
+            fingerprint = self._fingerprint(spec.dataset)
+            if fingerprint is not None:
+                store_key = store.key(program_key_payload(
+                    dataset_fingerprint=fingerprint,
+                    network=spec.network,
+                    hidden_dim=spec.hidden_dim,
+                    traversal=spec.traversal,
+                    feature_block=feature_block,
+                    params_seed=self.seed,
+                    config_projection=projection))
+                program = store.get(store_key, graph)
         if program is None:
             accelerator = GNNerator(config)
-            program = accelerator.compile(self.graph(spec.dataset),
-                                          self.model(spec),
+            program = accelerator.compile(graph, self.model(spec),
                                           params=self.params(spec),
                                           traversal=spec.traversal,
                                           feature_block=feature_block)
-            if len(self._programs) >= self.PROGRAM_CACHE_MAX_ENTRIES:
-                self._programs.pop(next(iter(self._programs)))
-            self._programs[key] = program
+            if store_key is not None:
+                store.put(store_key, program, graph)
+        if len(self._programs) >= self.PROGRAM_CACHE_MAX_ENTRIES:
+            self._programs.pop(next(iter(self._programs)))
+        self._programs[key] = program
         return program
+
+    def cache_stats(self) -> dict:
+        """Hit/miss counters of this harness's program caches."""
+        stats = {"memo": {"hits": self._memo_hits,
+                          "misses": self._memo_misses}}
+        if self.program_store is not None:
+            stats["store"] = dict(self.program_store.stats)
+            stats["store"]["root"] = str(self.program_store.root)
+        return stats
 
     def gnnerator_program(self, spec: WorkloadSpec,
                           config: GNNeratorConfig | None = None

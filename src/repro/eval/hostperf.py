@@ -100,13 +100,23 @@ def _timed(fn):
 
 
 def measure_workload(dataset: str, network: str, hidden_dim: int = 16,
-                     repeat: int = 1, coalesce: bool = True) -> dict:
+                     repeat: int = 1, coalesce: bool = True,
+                     program_store="default") -> dict:
     """Time one workload's load / compile / simulate on a fresh harness.
 
     ``coalesce=False`` times the per-operation event kernel instead of
     the coalesced replay (identical cycles; see
     :mod:`repro.sim.coalesce`) — the before/after lever for the
     simulate-path trajectory.
+
+    ``program_store`` is forwarded to each repeat's
+    :class:`~repro.eval.harness.Harness` — like the dataset disk
+    cache, the persistent compiled-program store is part of the system
+    under measurement, so ``compile_s`` reports store-load time when
+    the store is warm. Pass ``None`` (``repro perf
+    --no-program-cache``) to measure pure cold compiles; pass one
+    shared :class:`~repro.compiler.store.ProgramStore` across
+    workloads to aggregate its hit/miss counters.
     """
     spec = WorkloadSpec(dataset=dataset, network=network,
                         hidden_dim=hidden_dim)
@@ -115,8 +125,10 @@ def measure_workload(dataset: str, network: str, hidden_dim: int = 16,
     for _ in range(max(repeat, 1)):
         # Model a cold worker: drop the in-process dataset memo so the
         # load is served by synthesis or the persistent disk cache.
+        # (This also makes each repeat's Graph a fresh object, so the
+        # compiler's per-graph memos never leak between repeats.)
         dataset_registry._synthesize.cache_clear()
-        harness = Harness()
+        harness = Harness(program_store=program_store)
         load_s, graph = _timed(lambda: harness.graph(dataset))
         config, feature_block = harness._resolve_config(spec, None)
         compile_s, program = _timed(
@@ -141,22 +153,37 @@ def measure_workload(dataset: str, network: str, hidden_dim: int = 16,
 
 def measure(datasets=DEFAULT_DATASETS, networks=DEFAULT_NETWORKS,
             hidden_dim: int = 16, repeat: int = 1,
-            coalesce: bool = True) -> dict[str, dict]:
-    """The per-workload rows, one entry per dataset x network."""
+            coalesce: bool = True,
+            program_store="default") -> dict[str, dict]:
+    """The per-workload rows, one entry per dataset x network.
+
+    The default program-store sentinel is resolved once, so all
+    workloads share one store instance and its counters tell the whole
+    run's story.
+    """
+    if program_store == "default":
+        from repro.compiler.store import default_program_store
+
+        program_store = default_program_store()
     workloads: dict[str, dict] = {}
     for dataset in datasets:
         for network in networks:
             label = f"{dataset}-{network}"
-            workloads[label] = measure_workload(dataset, network,
-                                                hidden_dim=hidden_dim,
-                                                repeat=repeat,
-                                                coalesce=coalesce)
+            workloads[label] = measure_workload(
+                dataset, network, hidden_dim=hidden_dim, repeat=repeat,
+                coalesce=coalesce, program_store=program_store)
     return workloads
 
 
-def build_payload(workloads: dict[str, dict]) -> dict:
-    """Wrap measured rows with the host fingerprint."""
-    return {"meta": host_fingerprint(), "workloads": workloads}
+def build_payload(workloads: dict[str, dict],
+                  caches: dict | None = None) -> dict:
+    """Wrap measured rows with the host fingerprint (and, when given,
+    the run's cache counters — ``--check`` ignores them; CI parses them
+    to assert a warm-store run recompiled nothing)."""
+    payload = {"meta": host_fingerprint(), "workloads": workloads}
+    if caches is not None:
+        payload["caches"] = caches
+    return payload
 
 
 def write_benchmark(payload: dict, path: str | Path) -> Path:

@@ -179,6 +179,45 @@ def _generator_fingerprint() -> str:
 #: Bumped when the on-disk layout changes; old entries become misses.
 _CACHE_FORMAT = "v2"
 
+#: Process-wide disk-cache accounting (the in-process ``_synthesize``
+#: memo sits above this layer, so each counter moves at most once per
+#: dataset per process unless the memo is cleared).
+_DISK_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def disk_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the persistent dataset cache (this process)."""
+    return dict(_DISK_CACHE_STATS)
+
+
+def dataset_fingerprint(name: str, data_dir: str | None = None
+                        ) -> str | None:
+    """Stable content fingerprint of the graph ``load_dataset(name)``
+    returns, or ``None`` when it cannot be fingerprinted cheaply.
+
+    Covers everything that shapes the synthetic graph — published
+    stats, the per-dataset seed, the on-disk format version, and the
+    generator-source hash — so downstream caches (the compiled-program
+    store) can key on graph *content* without hashing hundreds of MB of
+    features. Returns ``None`` when real Planetoid files would be
+    loaded instead of the synthetic equivalent: their content is not
+    covered by this fingerprint, so callers must treat the workload as
+    uncacheable rather than risk a stale key.
+    """
+    stats = dataset_stats(name)
+    for directory in [data_dir, os.environ.get("REPRO_DATA_DIR"), "data"]:
+        if not directory:
+            continue
+        if (os.path.exists(os.path.join(directory, f"{stats.name}.content"))
+                and os.path.exists(
+                    os.path.join(directory, f"{stats.name}.cites"))):
+            return None
+    seed = _DATASET_SEEDS.get(name, 0)
+    return (f"{stats.name}|{stats.num_nodes}|{stats.num_edges}|"
+            f"{stats.feature_dim}|{stats.feature_density}|"
+            f"{stats.degree_exponent}|{seed}|{_CACHE_FORMAT}|"
+            f"{_generator_fingerprint()}")
+
 
 def _dataset_cache_path(stats: DatasetStats, seed: int) -> Path | None:
     root = _dataset_cache_dir()
@@ -265,7 +304,10 @@ def _synthesize(name: str) -> Graph:
     cache_path = _dataset_cache_path(stats, seed)
     cached = _dataset_cache_load(cache_path, stats)
     if cached is not None:
+        _DISK_CACHE_STATS["hits"] += 1
         return cached
+    if cache_path is not None:
+        _DISK_CACHE_STATS["misses"] += 1
     if stats.degree_exponent is not None:
         graph = powerlaw_graph(
             num_nodes=stats.num_nodes,

@@ -186,6 +186,58 @@ class ShardGrid:
             for start, stop in zip(starts, stops)
         }
 
+    # -- pickling ------------------------------------------------------
+    # A grid is a pure function of (graph, interval_size); what makes
+    # rebuilding expensive is the O(|E| log |E|) sort hiding in
+    # ``_scatter``. Serialisation therefore keeps exactly the sort's
+    # outputs — the permutation and the per-cell offsets — and
+    # recomputes everything derivable by a cheap O(|E|) gather on load.
+    # The parent graph rides along *by reference*: the program store's
+    # pickler persists it as a dataset id (never its feature matrix),
+    # and the unpickler reattaches the loading process's graph object.
+    def __getstate__(self) -> dict:
+        return {"graph": self.graph,
+                "interval_size": self.interval_size,
+                "_order": self._order,
+                "_bounds": self._bounds}
+
+    #: Attributes rebuilt from (graph, _order) after unpickling.
+    _DERIVED = ("intervals", "num_intervals",
+                "_src_sorted", "_dst_sorted", "_shard_views")
+
+    def __setstate__(self, state: dict) -> None:
+        # Stash the persisted fields only. The derived state cannot be
+        # rebuilt here: when the graph itself is being unpickled and
+        # its ``_shard_grid_cache`` references this grid back (a
+        # reference cycle), pickle invokes ``__setstate__`` while
+        # ``state["graph"]`` is still an empty shell whose own state
+        # has not been applied yet. ``__getattr__`` finishes the job
+        # on first access, by which point the graph is whole.
+        self.__dict__.update(state)
+
+    def __getattr__(self, name: str):
+        if name in ShardGrid._DERIVED and "_order" in self.__dict__:
+            self._rebuild_derived()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def _rebuild_derived(self) -> None:
+        """O(|E|) gather restoring everything ``__getstate__`` dropped."""
+        graph = self.graph
+        starts = list(range(0, max(graph.num_nodes, 1),
+                            self.interval_size))
+        self.intervals = [
+            NodeInterval(index=i, start=start,
+                         stop=min(start + self.interval_size,
+                                  graph.num_nodes))
+            for i, start in enumerate(starts)
+        ]
+        self.num_intervals = len(self.intervals)
+        self._src_sorted = graph.src[self._order]
+        self._dst_sorted = graph.dst[self._order]
+        self._shard_views = {}
+
     # ------------------------------------------------------------------
     @property
     def grid_side(self) -> int:
@@ -329,8 +381,20 @@ def plan_shards(graph: Graph, config: GraphEngineConfig,
     # Probe candidate interval sizes with an O(|E|) per-cell edge count
     # instead of building (and sorting) a full grid per candidate — the
     # accepted interval is exactly the one the old build-and-check loop
-    # chose, the grid is just constructed once, at the end.
-    while interval > 1 and _max_cell_edges(graph, interval) > edge_capacity:
+    # chose, the grid is just constructed once, at the end. Probe
+    # results are memoized per graph: a multi-layer model (or a DSE
+    # sweep walking buffer budgets) re-asks about the same candidate
+    # intervals, and the answer is a pure function of (graph, interval).
+    probes: dict = getattr(graph, "_cell_edge_cache", None)
+    if probes is None:
+        probes = {}
+        graph._cell_edge_cache = probes
+    while interval > 1:
+        cells = probes.get(interval)
+        if cells is None:
+            cells = probes[interval] = _max_cell_edges(graph, interval)
+        if cells <= edge_capacity:
+            break
         interval = max(interval // 2, 1)
     # A grid depends only on (graph, interval): different feature
     # blocks that resolve to the same interval — e.g. a wide input

@@ -84,6 +84,19 @@ blocked putter vs. the getter that unblocked it; the DRAM port mirrors
 occupancy and before the latency sleep. ``tests/test_coalesce.py``
 locks the equivalence by running both kernels over the differential
 suite and asserting exact cycle equality.
+
+Compile-product dependency key
+------------------------------
+
+A :class:`CoalescedPlan` is a pure function of ``(program op queues,
+DramConfig)`` and nothing else — no graph data, no clock frequency, no
+Dense/Graph-Engine knobs beyond what is already baked into the ops'
+cycle fields. Plans are therefore cached on the program per DramConfig
+(``Program.coalesced_plan``) and, being plain containers of ints
+(``__slots__`` of lists/dicts), serialized *with* the program by the
+persistent store (:mod:`repro.compiler.store`): a warm-store load gets
+the chains for free, and a DSE candidate that differs only in DRAM
+knobs reuses the shared program while lazily building its own plan.
 """
 
 from __future__ import annotations

@@ -121,10 +121,15 @@ def run_point(point: SweepPoint, harness) -> PointResult:
 # ---------------------------------------------------------------------
 #: One harness per seed per worker process; graphs, models, params and
 #: compiled programs materialise once per process, not once per point —
-#: DSE candidates that share (dataset, network, blocking, config) reuse
-#: the compiled software outright (see ``Harness._compiled``), and
-#: candidates that differ only in non-graph-engine knobs still share the
-#: memoized shard grids hanging off the graph object.
+#: DSE candidates that share a *compile-relevant* config projection
+#: reuse the compiled software outright (see ``Harness._compiled``:
+#: DRAM/frequency-only variants map to one program), and candidates
+#: that differ only in non-graph-engine knobs still share the memoized
+#: shard grids hanging off the graph object. Each worker's default
+#: harness additionally consults the persistent compiled-program store
+#: (``.program-cache``), which all workers — and all later processes —
+#: share: a program any worker compiles is published once, atomically,
+#: and every other worker's compile becomes a disk load.
 _WORKER_HARNESSES: dict[int, object] = {}
 
 
