@@ -13,6 +13,8 @@ Usage::
     gnnerator dse --strategy random --budget-area 20 \
         --networks gcn --datasets tiny   # design-space exploration
     gnnerator perf --datasets tiny,cora  # host wall-clock trajectory
+    gnnerator serve --workers 2     # persistent simulation daemon
+    gnnerator loadtest --requests 50 --rate 50  # Poisson burst vs daemon
 
 (or ``python -m repro ...``)
 """
@@ -387,6 +389,52 @@ def _cmd_dse(args: argparse.Namespace) -> str:
     return text
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.serve import serve
+
+    args.exit_code = serve(host=args.host, port=args.port,
+                           seed=args.seed, workers=args.workers,
+                           depth=args.depth, cache_dir=args.cache_dir)
+    return ""
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> str:
+    import json as json_module
+
+    from repro.serve.loadtest import (
+        LoadTestError,
+        render,
+        run_loadtest,
+        write_serve_benchmark,
+    )
+
+    body = None
+    if args.body:
+        try:
+            body = json_module.loads(args.body)
+        except ValueError as exc:
+            raise SystemExit(
+                f"loadtest: --body is not valid JSON: {exc}") from None
+    try:
+        payload = run_loadtest(args.url, body=body,
+                               endpoint=args.endpoint,
+                               requests=args.requests, rate=args.rate,
+                               concurrency=args.concurrency,
+                               seed=args.seed, timeout_s=args.timeout)
+    except (LoadTestError, ValueError) as exc:
+        raise SystemExit(f"loadtest: {exc}") from None
+    lines = [render(payload)]
+    if args.counts_ok_only and (payload["counts"]["rejected_429"]
+                                or payload["counts"]["errors"]):
+        args.exit_code = 1
+        lines.append("loadtest: burst had rejections/errors "
+                     "(--counts-ok-only)")
+    if args.output:
+        write_serve_benchmark(payload, args.output)
+        lines.append(f"wrote {args.output}")
+    return "\n".join(lines)
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.sim.trace import Tracer, render_gantt
 
@@ -574,12 +622,74 @@ def build_parser() -> argparse.ArgumentParser:
                            "budget (CI machine-variance allowance; "
                            "default 0)")
     perf.set_defaults(handler=_cmd_perf)
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent simulation daemon (HTTP/JSON; see "
+             "README 'Serving')")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8177,
+                       help="bind port; 0 picks a free one "
+                            "(default 8177)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="request worker threads (default 2)")
+    serve.add_argument("--depth", type=_positive_int, default=32,
+                       help="work-queue depth before 429 backpressure "
+                            "(default 32)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="parameter-initialisation seed (default 0)")
+    serve.add_argument("--cache-dir", default=".sweep-cache",
+                       help="sweep result cache directory "
+                            "(default .sweep-cache)")
+    serve.set_defaults(handler=_cmd_serve)
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="fire a Poisson request burst at a running daemon and "
+             "report p50/p99 latency + sustained RPS")
+    loadtest.add_argument("--url", default="http://127.0.0.1:8177",
+                          help="daemon base URL "
+                               "(default http://127.0.0.1:8177)")
+    loadtest.add_argument("--endpoint",
+                          choices=("run", "sweep", "dse", "perf"),
+                          default="run", help="endpoint to exercise")
+    loadtest.add_argument("--body", default=None, metavar="JSON",
+                          help="request body as a JSON object (default "
+                               "{\"dataset\": \"tiny\", \"network\": "
+                               "\"gcn\"})")
+    loadtest.add_argument("--requests", type=_positive_int, default=50,
+                          help="burst size (default 50)")
+    loadtest.add_argument("--rate", type=float, default=50.0,
+                          help="offered load, requests/second "
+                               "(default 50)")
+    loadtest.add_argument("--concurrency", type=_positive_int,
+                          default=8,
+                          help="client-side in-flight cap (default 8)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="arrival-process seed (default 0)")
+    loadtest.add_argument("--timeout", type=float, default=60.0,
+                          help="per-request timeout, seconds "
+                               "(default 60)")
+    loadtest.add_argument("--counts-ok-only", action="store_true",
+                          help="exit 1 when any request was rejected "
+                               "or errored (CI gate)")
+    loadtest.add_argument("--output", "-o", default=None,
+                          help="write the JSON payload here (e.g. "
+                               "BENCH_serve.json)")
+    loadtest.set_defaults(handler=_cmd_loadtest)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    print(args.handler(args))
+    try:
+        out = args.handler(args)
+    except KeyboardInterrupt:
+        # Workers are already torn down (see ProcessPoolScheduler.run);
+        # 130 = 128 + SIGINT, the conventional interrupted-exit code.
+        print("interrupted", file=sys.stderr)
+        return 130
+    if out:
+        print(out)
     return getattr(args, "exit_code", 0)
 
 

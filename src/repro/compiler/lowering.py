@@ -50,6 +50,7 @@ assert "recompiled nothing".
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from weakref import WeakKeyDictionary
@@ -105,10 +106,17 @@ from repro.models.stages import AggregateStage, ExtractStage, GNNModel
 #: verify a cached path really compiled nothing.
 _FULL_LOWERINGS = 0
 
+#: Guards the lowering counter and both weight memos below. Compiles
+#: from concurrent threads (the serve daemon) read and publish memo
+#: entries under it; the weight *computations* themselves run outside
+#: the lock, so unrelated compiles never serialize here.
+_MEMO_LOCK = threading.Lock()
+
 
 def full_lowering_count() -> int:
     """How many times this process ran the full lowering pass."""
-    return _FULL_LOWERINGS
+    with _MEMO_LOCK:
+        return _FULL_LOWERINGS
 
 
 #: Static aggregation weights per graph: ``graph -> {stage: (edge_w,
@@ -205,9 +213,10 @@ class Lowering:
         self._baked_attention: dict | None = None
         self._fresh_attention: dict = {}
         if self._needs_shadow:
-            per_params = _ATTENTION_WEIGHTS_MEMO.get(graph)
-            baked = (per_params.get(params, {}).get(model)
-                     if per_params is not None else None)
+            with _MEMO_LOCK:
+                per_params = _ATTENTION_WEIGHTS_MEMO.get(graph)
+                baked = (per_params.get(params, {}).get(model)
+                         if per_params is not None else None)
             if baked is not None:
                 self._baked_attention = baked
                 self._needs_shadow = False
@@ -258,7 +267,8 @@ class Lowering:
     # ------------------------------------------------------------------
     def compile(self) -> Program:
         global _FULL_LOWERINGS
-        _FULL_LOWERINGS += 1
+        with _MEMO_LOCK:
+            _FULL_LOWERINGS += 1
         program = self.program
         program.declare_array(program.input_array, self.model.in_dim)
         current = ValueRef(program.input_array, Coverage())
@@ -287,12 +297,13 @@ class Lowering:
                         layer_input, layer, completions)
         program.output_array = current.array
         if self._fresh_attention:
-            per_params = _ATTENTION_WEIGHTS_MEMO.get(self.graph)
-            if per_params is None:
-                per_params = WeakKeyDictionary()
-                _ATTENTION_WEIGHTS_MEMO[self.graph] = per_params
-            per_params.setdefault(program.params, {})[self.model] = dict(
-                self._fresh_attention)
+            with _MEMO_LOCK:
+                per_params = _ATTENTION_WEIGHTS_MEMO.get(self.graph)
+                if per_params is None:
+                    per_params = WeakKeyDictionary()
+                    _ATTENTION_WEIGHTS_MEMO[self.graph] = per_params
+                per_params.setdefault(program.params, {})[self.model] = (
+                    dict(self._fresh_attention))
         return program
 
     def _prewarm_shards(self, grid: ShardGrid) -> None:
@@ -517,15 +528,20 @@ class Lowering:
         runtime only ever gathers from them, so sharing is cycle-neutral.
         """
         if not stage.needs_features:
-            memo = _STATIC_WEIGHTS_MEMO.get(self.graph)
-            if memo is None:
-                memo = {}
-                _STATIC_WEIGHTS_MEMO[self.graph] = memo
-            pair = memo.get(stage)
+            with _MEMO_LOCK:
+                memo = _STATIC_WEIGHTS_MEMO.get(self.graph)
+                if memo is None:
+                    memo = {}
+                    _STATIC_WEIGHTS_MEMO[self.graph] = memo
+                pair = memo.get(stage)
             if pair is None:
-                pair = (stage.edge_weights(self.graph),
-                        stage.self_weights(self.graph))
-                memo[stage] = pair
+                computed = (stage.edge_weights(self.graph),
+                            stage.self_weights(self.graph))
+                with _MEMO_LOCK:
+                    # A racing compile may have published first — every
+                    # caller must hand out the winner so downstream
+                    # identity-keyed caches see one object.
+                    pair = memo.setdefault(stage, computed)
             return pair
         if self._baked_attention is not None:
             return self._baked_attention[(layer, stage_index)]

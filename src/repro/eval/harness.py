@@ -9,6 +9,7 @@ experiment modules.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 
 from repro.accelerator import ExecutionResult, GNNerator
@@ -77,6 +78,13 @@ class Harness:
     persistence for this harness, and an explicit
     :class:`~repro.compiler.store.ProgramStore` is used as given (tests
     point one at a temp directory).
+
+    Thread safety: one harness may be shared by concurrent request
+    threads (the ``repro serve`` daemon). Every memo (params, datasets,
+    fingerprints, compiled programs) is guarded, and compilation uses a
+    per-key lock so N threads asking for the *same* program run exactly
+    one lowering while threads asking for *different* programs compile
+    in parallel.
     """
 
     #: Compiled programs kept per harness; evicted FIFO beyond this.
@@ -90,6 +98,10 @@ class Harness:
         self._fingerprints: dict[str, str | None] = {}
         self._memo_hits = 0
         self._memo_misses = 0
+        #: Guards every memo dict and counter on this harness.
+        self._lock = threading.RLock()
+        #: One lock per in-flight compile key (see :meth:`_compiled`).
+        self._compile_locks: dict[tuple, threading.Lock] = {}
         if program_store == "default":
             program_store = default_program_store()
         self.program_store = program_store
@@ -107,10 +119,16 @@ class Harness:
 
     def params(self, spec: WorkloadSpec) -> Parameters:
         key = (spec.dataset, spec.network, spec.hidden_dim)
-        if key not in self._params:
-            self._params[key] = init_parameters(self.model(spec),
-                                                seed=self.seed)
-        return self._params[key]
+        # Held across init_parameters deliberately: two threads must
+        # not each build a Parameters object for the same key — the
+        # compiler's baked-attention memo is keyed by params *identity*
+        # (WeakKeyDictionary), so a duplicate object would silently
+        # duplicate GAT shadow executions.
+        with self._lock:
+            if key not in self._params:
+                self._params[key] = init_parameters(self.model(spec),
+                                                    seed=self.seed)
+            return self._params[key]
 
     # -- per-platform latencies ----------------------------------------
     def _resolve_config(self, spec: WorkloadSpec,
@@ -130,9 +148,10 @@ class Harness:
 
     def _fingerprint(self, dataset: str) -> str | None:
         """Cached dataset fingerprint (None = not store-addressable)."""
-        if dataset not in self._fingerprints:
-            self._fingerprints[dataset] = dataset_fingerprint(dataset)
-        return self._fingerprints[dataset]
+        with self._lock:
+            if dataset not in self._fingerprints:
+                self._fingerprints[dataset] = dataset_fingerprint(dataset)
+            return self._fingerprints[dataset]
 
     def _compiled(self, spec: WorkloadSpec,
                   config: GNNeratorConfig,
@@ -154,43 +173,61 @@ class Harness:
             feature_block = config.feature_block
         projection = compile_relevant_config(config)
         key = (spec, projection, feature_block)
-        program = self._programs.get(key)
-        if program is not None:
-            self._memo_hits += 1
+        # Fast path + per-key lock acquisition under the harness lock:
+        # concurrent requests for the same key serialize on the key
+        # lock (one lowering, the rest hit the memo on re-check) while
+        # distinct keys compile concurrently.
+        with self._lock:
+            program = self._programs.get(key)
+            if program is not None:
+                self._memo_hits += 1
+                return program
+            key_lock = self._compile_locks.setdefault(key,
+                                                      threading.Lock())
+        with key_lock:
+            with self._lock:
+                program = self._programs.get(key)
+                if program is not None:
+                    # Another thread compiled it while we waited.
+                    self._memo_hits += 1
+                    return program
+                self._memo_misses += 1
+            graph = self.graph(spec.dataset)
+            store = self.program_store
+            store_key = None
+            program = None
+            if store is not None:
+                fingerprint = self._fingerprint(spec.dataset)
+                if fingerprint is not None:
+                    store_key = store.key(program_key_payload(
+                        dataset_fingerprint=fingerprint,
+                        network=spec.network,
+                        hidden_dim=spec.hidden_dim,
+                        traversal=spec.traversal,
+                        feature_block=feature_block,
+                        params_seed=self.seed,
+                        config_projection=projection))
+                    program = store.get(store_key, graph)
+            if program is None:
+                accelerator = GNNerator(config)
+                program = accelerator.compile(graph, self.model(spec),
+                                              params=self.params(spec),
+                                              traversal=spec.traversal,
+                                              feature_block=feature_block)
+                if store_key is not None:
+                    store.put(store_key, program, graph)
+            with self._lock:
+                if len(self._programs) >= self.PROGRAM_CACHE_MAX_ENTRIES:
+                    self._programs.pop(next(iter(self._programs)))
+                self._programs[key] = program
+                self._compile_locks.pop(key, None)
             return program
-        self._memo_misses += 1
-        graph = self.graph(spec.dataset)
-        store = self.program_store
-        store_key = None
-        if store is not None:
-            fingerprint = self._fingerprint(spec.dataset)
-            if fingerprint is not None:
-                store_key = store.key(program_key_payload(
-                    dataset_fingerprint=fingerprint,
-                    network=spec.network,
-                    hidden_dim=spec.hidden_dim,
-                    traversal=spec.traversal,
-                    feature_block=feature_block,
-                    params_seed=self.seed,
-                    config_projection=projection))
-                program = store.get(store_key, graph)
-        if program is None:
-            accelerator = GNNerator(config)
-            program = accelerator.compile(graph, self.model(spec),
-                                          params=self.params(spec),
-                                          traversal=spec.traversal,
-                                          feature_block=feature_block)
-            if store_key is not None:
-                store.put(store_key, program, graph)
-        if len(self._programs) >= self.PROGRAM_CACHE_MAX_ENTRIES:
-            self._programs.pop(next(iter(self._programs)))
-        self._programs[key] = program
-        return program
 
     def cache_stats(self) -> dict:
         """Hit/miss counters of this harness's program caches."""
-        stats = {"memo": {"hits": self._memo_hits,
-                          "misses": self._memo_misses}}
+        with self._lock:
+            stats = {"memo": {"hits": self._memo_hits,
+                              "misses": self._memo_misses}}
         if self.program_store is not None:
             stats["store"] = dict(self.program_store.stats)
             stats["store"]["root"] = str(self.program_store.root)

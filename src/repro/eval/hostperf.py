@@ -187,8 +187,26 @@ def build_payload(workloads: dict[str, dict],
 
 
 def write_benchmark(payload: dict, path: str | Path) -> Path:
+    """Atomically persist a benchmark payload.
+
+    A plain ``write_text`` truncates the target before writing, so an
+    interrupted run (Ctrl-C, OOM-kill, crash mid-serialisation) leaves
+    a half-written baseline that a later ``--check`` crashes on instead
+    of reporting. Same tmp + ``os.replace`` discipline as the dataset
+    and program caches: readers only ever see the old complete file or
+    the new complete file, and a failed write leaves no partial file.
+    """
     path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                       + "\n")
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass  # already replaced into place
     return path
 
 

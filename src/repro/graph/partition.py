@@ -16,6 +16,8 @@ dimension-blocking win (Sec IV-B).
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -349,6 +351,24 @@ def plan_interval_size(config: GraphEngineConfig, block: int) -> int:
 #: geometries over one graph.
 _GRID_CACHE_MAX_ENTRIES = 16
 
+#: Guards lazy creation of each graph's grid lock — the only
+#: cross-graph state here; the per-graph lock itself serializes grid
+#: building so concurrent compiles of one graph (the serve daemon's
+#: request threads) build each grid once. Locks live in a side table
+#: (not on the graph): graphs ride inside pickled grids, and a
+#: ``threading.Lock`` attribute would make them unpicklable.
+_GRID_LOCKS_GUARD = threading.Lock()
+_GRID_LOCKS: "weakref.WeakKeyDictionary[Graph, threading.Lock]" = (
+    weakref.WeakKeyDictionary())
+
+
+def _graph_grid_lock(graph: Graph) -> threading.Lock:
+    lock = _GRID_LOCKS.get(graph)
+    if lock is None:
+        with _GRID_LOCKS_GUARD:
+            lock = _GRID_LOCKS.setdefault(graph, threading.Lock())
+    return lock
+
 
 def plan_shards(graph: Graph, config: GraphEngineConfig,
                 block: int) -> ShardGrid:
@@ -365,54 +385,62 @@ def plan_shards(graph: Graph, config: GraphEngineConfig,
     SIMD width, frequency, dense-engine shape) share one grid; the
     per-shard GPE-load cache is itself keyed by GPE count, so sharing
     a grid across those candidates stays sound.
+
+    Holds the graph's grid lock for the whole plan: concurrent
+    compiles of the same graph (serve daemon request threads) get one
+    grid build and identical grid *objects* — two structurally equal
+    grids would defeat every identity-keyed per-shard cache downstream.
     """
-    cache: dict = getattr(graph, "_shard_grid_cache", None)
-    if cache is None:
-        cache = {}
-        graph._shard_grid_cache = cache
-    key = (config.usable_src_bytes, config.usable_dst_bytes,
-           config.usable_edge_bytes, block)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    interval = min(plan_interval_size(config, block),
-                   max(graph.num_nodes, 1))
-    edge_capacity = config.usable_edge_bytes // EDGE_BYTES
-    # Probe candidate interval sizes with an O(|E|) per-cell edge count
-    # instead of building (and sorting) a full grid per candidate — the
-    # accepted interval is exactly the one the old build-and-check loop
-    # chose, the grid is just constructed once, at the end. Probe
-    # results are memoized per graph: a multi-layer model (or a DSE
-    # sweep walking buffer budgets) re-asks about the same candidate
-    # intervals, and the answer is a pure function of (graph, interval).
-    probes: dict = getattr(graph, "_cell_edge_cache", None)
-    if probes is None:
-        probes = {}
-        graph._cell_edge_cache = probes
-    while interval > 1:
-        cells = probes.get(interval)
-        if cells is None:
-            cells = probes[interval] = _max_cell_edges(graph, interval)
-        if cells <= edge_capacity:
-            break
-        interval = max(interval // 2, 1)
-    # A grid depends only on (graph, interval): different feature
-    # blocks that resolve to the same interval — e.g. a wide input
-    # layer halved down to the interval a narrow hidden layer gets
-    # from capacity alone — share one scatter. The per-shard caches
-    # (segment boundaries, GPE loads) are block-independent, so the
-    # sharing is sound.
-    interval_key = ("interval", interval)
-    grid = cache.get(interval_key)
-    if grid is None:
-        grid = ShardGrid(graph, interval)
+    with _graph_grid_lock(graph):
+        cache: dict = getattr(graph, "_shard_grid_cache", None)
+        if cache is None:
+            cache = {}
+            graph._shard_grid_cache = cache
+        key = (config.usable_src_bytes, config.usable_dst_bytes,
+               config.usable_edge_bytes, block)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        interval = min(plan_interval_size(config, block),
+                       max(graph.num_nodes, 1))
+        edge_capacity = config.usable_edge_bytes // EDGE_BYTES
+        # Probe candidate interval sizes with an O(|E|) per-cell edge
+        # count instead of building (and sorting) a full grid per
+        # candidate — the accepted interval is exactly the one the old
+        # build-and-check loop chose, the grid is just constructed
+        # once, at the end. Probe results are memoized per graph: a
+        # multi-layer model (or a DSE sweep walking buffer budgets)
+        # re-asks about the same candidate intervals, and the answer
+        # is a pure function of (graph, interval).
+        probes: dict = getattr(graph, "_cell_edge_cache", None)
+        if probes is None:
+            probes = {}
+            graph._cell_edge_cache = probes
+        while interval > 1:
+            cells = probes.get(interval)
+            if cells is None:
+                cells = probes[interval] = _max_cell_edges(graph,
+                                                           interval)
+            if cells <= edge_capacity:
+                break
+            interval = max(interval // 2, 1)
+        # A grid depends only on (graph, interval): different feature
+        # blocks that resolve to the same interval — e.g. a wide input
+        # layer halved down to the interval a narrow hidden layer gets
+        # from capacity alone — share one scatter. The per-shard
+        # caches (segment boundaries, GPE loads) are block-independent,
+        # so the sharing is sound.
+        interval_key = ("interval", interval)
+        grid = cache.get(interval_key)
+        if grid is None:
+            grid = ShardGrid(graph, interval)
+            if len(cache) >= _GRID_CACHE_MAX_ENTRIES:
+                cache.pop(next(iter(cache)))
+            cache[interval_key] = grid
         if len(cache) >= _GRID_CACHE_MAX_ENTRIES:
             cache.pop(next(iter(cache)))
-        cache[interval_key] = grid
-    if len(cache) >= _GRID_CACHE_MAX_ENTRIES:
-        cache.pop(next(iter(cache)))
-    cache[key] = grid
-    return grid
+        cache[key] = grid
+        return grid
 
 
 def _max_cell_edges(graph: Graph, interval: int) -> int:

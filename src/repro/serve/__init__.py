@@ -1,0 +1,43 @@
+"""`repro serve`: a persistent simulation daemon.
+
+The CLI pays cold-start — imports, dataset synthesis/load, compile —
+on every invocation; a production system serving heavy traffic would
+not. This package keeps the whole cache hierarchy warm in one
+long-lived process (memmapped datasets, the Harness program memo, the
+on-disk ProgramStore and sweep ResultCache) behind a small HTTP/JSON
+API:
+
+* ``POST /run``    — one (dataset, network, block, overrides) point
+* ``POST /sweep``  — a named sweep plan through the sweep engine
+* ``POST /dse``    — a design-space search
+* ``POST /perf``   — the host-performance benchmark rows
+* ``GET  /healthz`` — liveness probe
+* ``GET  /stats``  — live queue + 4-layer cache counters
+
+Requests flow through a bounded work queue (:mod:`.workqueue`) into a
+pool of worker threads sharing one thread-safe
+:class:`~repro.eval.harness.Harness`. Identical in-flight requests are
+*coalesced* onto one computation (the ResultCache already dedupes
+completed ones; this closes the in-flight window), and a full queue
+answers ``429`` with a ``Retry-After`` estimate instead of melting
+down. ``SIGTERM`` drains in-flight requests, then exits cleanly.
+
+:mod:`.loadtest` drives Poisson arrivals against a running daemon and
+reports p50/p99 latency plus sustained RPS into ``BENCH_serve.json``.
+"""
+
+from repro.serve.protocol import ProtocolError, parse_request
+from repro.serve.server import ServeState, make_server, serve
+from repro.serve.workqueue import Job, QueueClosed, QueueFull, WorkQueue
+
+__all__ = [
+    "Job",
+    "ProtocolError",
+    "QueueClosed",
+    "QueueFull",
+    "ServeState",
+    "WorkQueue",
+    "make_server",
+    "parse_request",
+    "serve",
+]

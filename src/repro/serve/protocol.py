@@ -1,0 +1,262 @@
+"""Request parsing, validation and coalescing keys for the daemon.
+
+Every endpoint's JSON body is validated *eagerly* into a frozen request
+dataclass so malformed input becomes a ``400`` with a one-line message
+before it ever reaches the work queue, and so each request has a
+canonical hashable :meth:`~ServeRequest.key` — the coalescing identity.
+Two requests with equal keys are guaranteed to compute the same result
+(everything the executors read is part of the key), which is what makes
+sharing one in-flight computation sound.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+
+from repro.config.overrides import FrozenOverrides, freeze_overrides
+from repro.graph.datasets import DATASETS
+from repro.models.zoo import NETWORK_NAMES
+from repro.sweep.plan import PLAN_NAMES
+
+#: Endpoints served through the work queue (``POST /<endpoint>``).
+ENDPOINTS = ("run", "sweep", "dse", "perf")
+
+#: DSE strategies the daemon accepts (mirrors the CLI).
+DSE_STRATEGIES = ("grid", "random", "evolutionary")
+
+
+class ProtocolError(ValueError):
+    """A malformed request body; maps to HTTP 400."""
+
+
+def _reject_unknown(body: dict, allowed: tuple[str, ...]) -> None:
+    """A typo'd field must be a 400, not a silently applied default —
+    the caller would believe the knob took effect."""
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise ProtocolError(
+            f"unknown field(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(allowed)}")
+
+
+def _require_str(body: dict, name: str, valid: tuple[str, ...],
+                 default: str | None = None) -> str:
+    value = body.get(name, default)
+    if value is None:
+        raise ProtocolError(f"missing required field {name!r}")
+    if not isinstance(value, str) or value not in valid:
+        raise ProtocolError(
+            f"{name} must be one of {', '.join(valid)}; got {value!r}")
+    return value
+
+
+def _positive_int(body: dict, name: str, default: int,
+                  allow_none: bool = False) -> int | None:
+    value = body.get(name, default)
+    if value is None and allow_none:
+        return None
+    if (isinstance(value, bool) or not isinstance(value, int)
+            or value < 1):
+        raise ProtocolError(f"{name} must be an integer >= 1, "
+                            f"got {value!r}")
+    return value
+
+
+def _int(body: dict, name: str, default: int) -> int:
+    value = body.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{name} must be an integer, got {value!r}")
+    return value
+
+
+def _name_tuple(body: dict, name: str, valid: tuple[str, ...],
+                default: tuple[str, ...]) -> tuple[str, ...]:
+    value = body.get(name)
+    if value is None:
+        return default
+    if isinstance(value, str):
+        value = [value]
+    if (not isinstance(value, (list, tuple)) or not value
+            or not all(isinstance(v, str) for v in value)):
+        raise ProtocolError(
+            f"{name} must be a non-empty list of names")
+    for entry in value:
+        if entry not in valid:
+            raise ProtocolError(
+                f"unknown name {entry!r} in {name}; valid: "
+                f"{', '.join(valid)}")
+    return tuple(value)
+
+
+def _overrides(body: dict) -> FrozenOverrides:
+    raw = body.get("overrides") or {}
+    if not isinstance(raw, dict):
+        raise ProtocolError("overrides must be an object of "
+                            "{dotted.path: number}")
+    for path, value in raw.items():
+        if (not isinstance(path, str) or isinstance(value, bool)
+                or not isinstance(value, numbers.Real)):
+            raise ProtocolError(
+                f"override {path!r}={value!r} is not a numeric knob")
+    frozen = freeze_overrides(raw)
+    if frozen:
+        # Validate knob paths and candidate feasibility eagerly so a
+        # bad knob is a 400, not a 500 from deep inside a worker.
+        from repro.config.accelerator import ConfigError
+        from repro.config.overrides import apply_overrides
+        from repro.config.platforms import gnnerator_config
+
+        try:
+            apply_overrides(gnnerator_config(), dict(frozen))
+        except ConfigError as exc:
+            raise ProtocolError(str(exc)) from None
+    return frozen
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """Base class: a validated request with a coalescing identity."""
+
+    endpoint: str = field(init=False, default="")
+
+    def key(self) -> tuple:
+        """Canonical hashable identity; equal keys ⇒ equal results."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RunRequest(ServeRequest):
+    dataset: str = ""
+    network: str = ""
+    block: int | None = 64
+    hidden_dim: int = 16
+    overrides: FrozenOverrides = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "endpoint", "run")
+
+    def key(self) -> tuple:
+        return ("run", self.dataset, self.network, self.block,
+                self.hidden_dim, self.overrides)
+
+
+@dataclass(frozen=True)
+class SweepRequest(ServeRequest):
+    plan: str = "smoke"
+    networks: tuple[str, ...] | None = None
+    seed: int = 0
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "endpoint", "sweep")
+
+    def key(self) -> tuple:
+        return ("sweep", self.plan, self.networks, self.seed, self.jobs)
+
+
+@dataclass(frozen=True)
+class DseRequest(ServeRequest):
+    strategy: str = "random"
+    datasets: tuple[str, ...] = ("tiny",)
+    networks: tuple[str, ...] = ("gcn",)
+    samples: int = 16
+    population: int = 8
+    generations: int = 4
+    hidden_dim: int = 16
+    max_candidates: int = 4096
+    budget_area: float | None = None
+    budget_power: float | None = None
+    seed: int = 0
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "endpoint", "dse")
+
+    def key(self) -> tuple:
+        return ("dse", self.strategy, self.datasets, self.networks,
+                self.samples, self.population, self.generations,
+                self.hidden_dim, self.max_candidates, self.budget_area,
+                self.budget_power, self.seed, self.jobs)
+
+
+@dataclass(frozen=True)
+class PerfRequest(ServeRequest):
+    datasets: tuple[str, ...] = ("tiny",)
+    networks: tuple[str, ...] = ("gcn",)
+    hidden_dim: int = 16
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "endpoint", "perf")
+
+    def key(self) -> tuple:
+        return ("perf", self.datasets, self.networks, self.hidden_dim,
+                self.repeat)
+
+
+def parse_request(endpoint: str, body: dict) -> ServeRequest:
+    """Validate one endpoint's JSON body into a request object.
+
+    Raises :class:`ProtocolError` (→ HTTP 400) on anything malformed.
+    """
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    dataset_names = tuple(DATASETS)
+    if endpoint == "run":
+        _reject_unknown(body, ("dataset", "network", "block",
+                               "hidden_dim", "overrides"))
+        return RunRequest(
+            dataset=_require_str(body, "dataset", dataset_names),
+            network=_require_str(body, "network", NETWORK_NAMES),
+            block=_positive_int(body, "block", 64, allow_none=True),
+            hidden_dim=_positive_int(body, "hidden_dim", 16),
+            overrides=_overrides(body))
+    if endpoint == "sweep":
+        _reject_unknown(body, ("plan", "networks", "seed", "jobs"))
+        networks = (None if body.get("networks") is None
+                    else _name_tuple(body, "networks", NETWORK_NAMES, ()))
+        return SweepRequest(
+            plan=_require_str(body, "plan", PLAN_NAMES, default="smoke"),
+            networks=networks,
+            seed=_int(body, "seed", 0),
+            jobs=_positive_int(body, "jobs", 1))
+    if endpoint == "dse":
+        _reject_unknown(body, ("strategy", "datasets", "networks",
+                               "samples", "population", "generations",
+                               "hidden_dim", "max_candidates",
+                               "budget_area", "budget_power", "seed",
+                               "jobs"))
+        for name in ("budget_area", "budget_power"):
+            value = body.get(name)
+            if value is not None and (isinstance(value, bool) or
+                                      not isinstance(value, numbers.Real)):
+                raise ProtocolError(f"{name} must be a number or null")
+        return DseRequest(
+            strategy=_require_str(body, "strategy", DSE_STRATEGIES,
+                                  default="random"),
+            datasets=_name_tuple(body, "datasets", dataset_names,
+                                 ("tiny",)),
+            networks=_name_tuple(body, "networks", NETWORK_NAMES,
+                                 ("gcn",)),
+            samples=_positive_int(body, "samples", 16),
+            population=_positive_int(body, "population", 8),
+            generations=_positive_int(body, "generations", 4),
+            hidden_dim=_positive_int(body, "hidden_dim", 16),
+            max_candidates=_positive_int(body, "max_candidates", 4096),
+            budget_area=body.get("budget_area"),
+            budget_power=body.get("budget_power"),
+            seed=_int(body, "seed", 0),
+            jobs=_positive_int(body, "jobs", 1))
+    if endpoint == "perf":
+        _reject_unknown(body, ("datasets", "networks", "hidden_dim",
+                               "repeat"))
+        return PerfRequest(
+            datasets=_name_tuple(body, "datasets", dataset_names,
+                                 ("tiny",)),
+            networks=_name_tuple(body, "networks", NETWORK_NAMES,
+                                 ("gcn",)),
+            hidden_dim=_positive_int(body, "hidden_dim", 16),
+            repeat=_positive_int(body, "repeat", 1))
+    raise ProtocolError(
+        f"unknown endpoint {endpoint!r}; known: {', '.join(ENDPOINTS)}")

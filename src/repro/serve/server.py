@@ -1,0 +1,339 @@
+"""The HTTP frontend and executor state of ``repro serve``.
+
+Process layout (DESIGN.md §7): ONE daemon process holds every warm
+cache — the thread-safe :class:`~repro.eval.harness.Harness` (datasets
+pinned and memmapped, compiled-program memo), the persistent
+ProgramStore and the sweep ResultCache handles. HTTP handler threads
+(one per connection, stdlib ``ThreadingHTTPServer``) do no simulation
+work themselves: they validate, submit to the bounded
+:class:`~repro.serve.workqueue.WorkQueue`, and block on the job's
+completion event. The queue's worker threads run the executors against
+the shared harness; ``sweep``/``dse`` requests with ``jobs > 1``
+additionally fan out to spawn-based worker *processes* through the
+existing :class:`~repro.sweep.runner.ProcessPoolScheduler`.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.protocol import (
+    ENDPOINTS,
+    ProtocolError,
+    ServeRequest,
+    parse_request,
+)
+from repro.serve.workqueue import QueueClosed, QueueFull, WorkQueue
+
+#: Handler threads give up on a job after this long (HTTP 500). Far
+#: above any legitimate request; guards a wedged worker from leaking
+#: connections forever.
+DEFAULT_REQUEST_TIMEOUT_S = 600.0
+
+
+class ServeState:
+    """Everything the daemon shares across requests."""
+
+    def __init__(self, seed: int = 0, workers: int = 2, depth: int = 32,
+                 cache_dir: str = ".sweep-cache",
+                 request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+                 ) -> None:
+        from repro.eval.harness import Harness
+
+        self.harness = Harness(seed=seed)
+        self.seed = seed
+        self.cache_dir = cache_dir
+        self.request_timeout_s = request_timeout_s
+        self.queue = WorkQueue(workers=workers, depth=depth)
+        self.started_at = time.monotonic()
+        self._counter_lock = threading.Lock()
+        self.request_counts = {endpoint: 0 for endpoint in ENDPOINTS}
+        # Indirection so tests can wrap an executor (e.g. to gate its
+        # start and observe coalescing deterministically).
+        self.executors = {
+            "run": self._exec_run,
+            "sweep": self._exec_sweep,
+            "dse": self._exec_dse,
+            "perf": self._exec_perf,
+        }
+
+    # -- request flow --------------------------------------------------
+    def submit(self, request: ServeRequest):
+        """Queue one parsed request; returns ``(job, coalesced)``."""
+        with self._counter_lock:
+            self.request_counts[request.endpoint] += 1
+        executor = self.executors[request.endpoint]
+        return self.queue.submit(request.key(),
+                                 lambda: executor(request))
+
+    # -- executors (run on queue worker threads) -----------------------
+    def _exec_run(self, request) -> dict:
+        from repro.accelerator import GNNerator
+        from repro.config.platforms import gnnerator_config
+        from repro.config.workload import WorkloadSpec
+
+        spec = WorkloadSpec(dataset=request.dataset,
+                            network=request.network,
+                            feature_block=request.block,
+                            hidden_dim=request.hidden_dim)
+        config = None
+        if request.overrides:
+            from repro.config.overrides import apply_overrides
+
+            config = apply_overrides(
+                gnnerator_config(feature_block=request.block),
+                dict(request.overrides))
+        program = self.harness.gnnerator_program(spec, config)
+        resolved = (config if config is not None
+                    else gnnerator_config(feature_block=request.block))
+        result = GNNerator(resolved).simulate(program)
+        return {
+            "workload": spec.label,
+            "dataset": request.dataset,
+            "network": request.network,
+            "feature_block": request.block,
+            "hidden_dim": request.hidden_dim,
+            "overrides": dict(request.overrides),
+            "seconds": result.seconds,
+            "cycles": result.cycles,
+            "num_operations": result.num_operations,
+            "total_dram_bytes": result.total_dram_bytes,
+        }
+
+    def _runner(self, jobs: int):
+        """A SweepRunner over the daemon's warm harness and cache dir."""
+        from repro.sweep import NullCache, ResultCache, SweepRunner
+
+        cache = (ResultCache(self.cache_dir) if self.cache_dir
+                 else NullCache())
+        return SweepRunner(jobs=jobs, cache=cache,
+                           harness=self.harness)
+
+    def _exec_sweep(self, request) -> dict:
+        from repro.sweep import build_plan
+
+        plan = build_plan(request.plan, seed=request.seed,
+                          networks=request.networks or None)
+        result = self._runner(request.jobs).run(plan)
+        return result.to_dict()
+
+    def _exec_dse(self, request) -> dict:
+        from repro.config.workload import WorkloadSpec
+        from repro.dse import (
+            SPACE_PRESETS,
+            Budget,
+            DseEngine,
+            build_strategy,
+        )
+
+        strategy = build_strategy(
+            request.strategy, samples=request.samples,
+            population=request.population,
+            generations=request.generations, seed=request.seed,
+            max_candidates=request.max_candidates)
+        workloads = [WorkloadSpec(dataset=dataset, network=network,
+                                  hidden_dim=request.hidden_dim)
+                     for dataset in request.datasets
+                     for network in request.networks]
+        engine = DseEngine(SPACE_PRESETS["default"](), strategy,
+                           workloads, self._runner(request.jobs),
+                           budget=Budget(area_mm2=request.budget_area,
+                                         power_w=request.budget_power),
+                           seed=request.seed)
+        return engine.run().to_dict()
+
+    def _exec_perf(self, request) -> dict:
+        from repro.eval import hostperf
+
+        workloads = hostperf.measure(
+            datasets=request.datasets, networks=request.networks,
+            hidden_dim=request.hidden_dim, repeat=request.repeat,
+            program_store=self.harness.program_store)
+        return hostperf.build_payload(workloads)
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        from repro.compiler.lowering import full_lowering_count
+        from repro.graph.datasets import disk_cache_stats
+
+        with self._counter_lock:
+            counts = dict(self.request_counts)
+        caches = self.harness.cache_stats()
+        caches["full_lowerings"] = full_lowering_count()
+        caches["dataset_disk"] = disk_cache_stats()
+        caches["datasets_pinned"] = len(self.harness._datasets)
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "seed": self.seed,
+            "queue": self.queue.stats(),
+            "requests": counts,
+            "caches": caches,
+        }
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        return self.queue.stop(drain=True, timeout=timeout)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON-over-HTTP adapter; all policy lives in ServeState."""
+
+    server_version = "repro-serve/1.0"
+    #: Quiet by default — the daemon's stdout is the operator surface.
+    verbose = False
+
+    @property
+    def state(self) -> ServeState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 (stdlib name)
+        if self.verbose:
+            super().log_message(format, *args)
+
+    def _respond(self, code: int, payload: dict,
+                 headers: dict[str, str] | None = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except BrokenPipeError:
+            pass  # client went away; nothing to salvage
+
+    # -- GET -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        if self.path == "/healthz":
+            self._respond(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._respond(200, self.state.stats())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}; "
+                                         f"GET serves /healthz, /stats"})
+
+    # -- POST ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        endpoint = self.path.lstrip("/")
+        if endpoint not in ENDPOINTS:
+            self._respond(404, {"error": f"unknown endpoint "
+                                         f"{self.path!r}; POST serves "
+                                         f"{', '.join(ENDPOINTS)}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            body = json.loads(raw.decode() or "{}")
+        except (ValueError, UnicodeDecodeError):
+            self._respond(400, {"error": "request body is not valid "
+                                         "JSON"})
+            return
+        try:
+            request = parse_request(endpoint, body)
+        except ProtocolError as exc:
+            self._respond(400, {"error": str(exc)})
+            return
+        started = time.monotonic()
+        try:
+            job, coalesced = self.state.submit(request)
+        except QueueFull as exc:
+            self._respond(429, {"error": str(exc),
+                                "retry_after_s": exc.retry_after},
+                          headers={"Retry-After": str(exc.retry_after)})
+            return
+        except QueueClosed:
+            self._respond(503, {"error": "daemon is draining; "
+                                         "not accepting new work"})
+            return
+        if not job.event.wait(self.state.request_timeout_s):
+            self._respond(500, {"error": "request timed out in the "
+                                         "work queue"})
+            return
+        elapsed_ms = (time.monotonic() - started) * 1e3
+        if job.error is not None:
+            self._respond(500, {"error": f"{type(job.error).__name__}: "
+                                         f"{job.error}"})
+            return
+        self._respond(200, {"result": job.result,
+                            "coalesced": coalesced,
+                            "elapsed_ms": round(elapsed_ms, 3)})
+
+
+class ServeServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that joins its handler threads on close.
+
+    ``daemon_threads = False`` + ``block_on_close = True`` means
+    :meth:`server_close` waits for every in-flight response to be
+    written — the second half of the SIGTERM drain (the first half is
+    :meth:`ServeState.drain`, which finishes the queued jobs those
+    handlers are waiting on).
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address, state: ServeState,
+                 handler=_Handler) -> None:
+        super().__init__(address, handler)
+        self.state = state
+
+
+def make_server(state: ServeState, host: str = "127.0.0.1",
+                port: int = 0) -> ServeServer:
+    """Bind the daemon (``port=0`` picks a free port)."""
+    return ServeServer((host, port), state)
+
+
+def serve(host: str = "127.0.0.1", port: int = 8177, seed: int = 0,
+          workers: int = 2, depth: int = 32,
+          cache_dir: str = ".sweep-cache",
+          ready_line=print) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns the exit code.
+
+    Must be called from the main thread (signal handlers). Prints one
+    machine-parseable ready line — ``serving on http://HOST:PORT`` —
+    once the socket is bound, which the loadtest harness and the CI
+    smoke job wait for.
+    """
+    state = ServeState(seed=seed, workers=workers, depth=depth,
+                       cache_dir=cache_dir)
+    httpd = make_server(state, host, port)
+    bound_host, bound_port = httpd.server_address[:2]
+    got = {"signum": None}
+
+    def _initiate_shutdown(signum, frame) -> None:
+        got["signum"] = signum
+        # serve_forever must be stopped from another thread — calling
+        # shutdown() from this handler (which interrupted the serving
+        # loop itself) would deadlock.
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _initiate_shutdown),
+        signal.SIGINT: signal.signal(signal.SIGINT, _initiate_shutdown),
+    }
+    ready_line(f"serving on http://{bound_host}:{bound_port} "
+               f"(workers={workers}, depth={depth}, seed={seed})",
+               flush=True)
+    try:
+        httpd.serve_forever(poll_interval=0.1)
+        drained = state.drain()
+        httpd.server_close()  # joins handler threads (responses out)
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+    name = {signal.SIGTERM: "SIGTERM",
+            signal.SIGINT: "SIGINT"}.get(got["signum"], "shutdown")
+    outcome = "cleanly" if drained else "with stuck workers"
+    ready_line(f"{name}: drained {outcome} after "
+               f"{state.queue.completed} completed request(s)",
+               flush=True)
+    if not drained:
+        return 1
+    return 130 if got["signum"] == signal.SIGINT else 0

@@ -1,0 +1,220 @@
+"""Bounded work queue with request coalescing and backpressure.
+
+The daemon's concurrency spine: HTTP handler threads :meth:`submit`
+jobs, a fixed pool of worker threads executes them, and three policies
+keep the system stable under heavy traffic:
+
+* **Coalescing** — a submit whose key matches an in-flight (queued or
+  running) job attaches to that job instead of enqueueing a duplicate:
+  one computation, K responses. Keys come from
+  :meth:`repro.serve.protocol.ServeRequest.key`, which covers every
+  input the executors read, so sharing is sound. A job is removed from
+  the in-flight index *before* its completion event fires, so late
+  arrivals can never attach to an already-finished job (they recompute
+  — typically a warm memo hit).
+* **Backpressure** — a full queue raises :class:`QueueFull` carrying a
+  ``retry_after`` estimate (queue length × recent mean service time ÷
+  workers) instead of growing without bound; the server maps it to
+  HTTP 429 + ``Retry-After``.
+* **Draining** — :meth:`stop` (the SIGTERM path) closes the queue to
+  new work (:class:`QueueClosed` → HTTP 503), lets the workers finish
+  everything already accepted, and joins them; every accepted request
+  gets its response before the daemon exits.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+class QueueFull(Exception):
+    """The bounded queue is at capacity; retry after ``retry_after``s."""
+
+    def __init__(self, retry_after: int) -> None:
+        super().__init__(f"work queue full; retry after {retry_after}s")
+        self.retry_after = retry_after
+
+
+class QueueClosed(Exception):
+    """The queue is draining (shutdown in progress); maps to 503."""
+
+
+@dataclass
+class Job:
+    """One unit of queued work; shared by every coalesced waiter."""
+
+    key: tuple
+    fn: object
+    event: threading.Event = field(default_factory=threading.Event)
+    result: object = None
+    error: Exception | None = None
+    #: How many requests share this job (1 = no coalescing happened).
+    waiters: int = 1
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def service_s(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class WorkQueue:
+    """Fixed worker-thread pool over a bounded, coalescing queue."""
+
+    #: Service times remembered for the Retry-After estimate.
+    _DURATION_WINDOW = 64
+
+    #: Floor for Retry-After (seconds) when the queue has no history.
+    _MIN_RETRY_AFTER = 1
+
+    def __init__(self, workers: int = 2, depth: int = 32) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.workers = workers
+        self.depth = depth
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._pending: collections.deque[Job] = collections.deque()
+        self._inflight: dict[tuple, Job] = {}
+        self._running = 0
+        self._closed = False
+        self._durations: collections.deque[float] = collections.deque(
+            maxlen=self._DURATION_WINDOW)
+        self.submitted = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.completed = 0
+        self.errors = 0
+        self._threads = [
+            threading.Thread(target=self._work, name=f"serve-worker-{i}",
+                             daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- producer side -------------------------------------------------
+    def submit(self, key: tuple, fn) -> tuple[Job, bool]:
+        """Enqueue ``fn`` under ``key``; returns ``(job, coalesced)``.
+
+        Raises :class:`QueueFull` at capacity and :class:`QueueClosed`
+        while draining. The caller waits on ``job.event`` and then
+        reads ``job.result`` / ``job.error``.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("daemon is draining")
+            existing = self._inflight.get(key)
+            if existing is not None:
+                existing.waiters += 1
+                self.coalesced += 1
+                return existing, True
+            if len(self._pending) >= self.depth:
+                self.rejected += 1
+                raise QueueFull(self.retry_after_estimate())
+            job = Job(key=key, fn=fn)
+            self._inflight[key] = job
+            self._pending.append(job)
+            self.submitted += 1
+            self._ready.notify()
+            return job, False
+
+    def retry_after_estimate(self) -> int:
+        """Whole seconds until a queue slot likely frees up.
+
+        Callers hold ``self._lock`` or accept a slightly stale read:
+        backlog × mean recent service time ÷ workers, floored at
+        :data:`_MIN_RETRY_AFTER`.
+        """
+        backlog = len(self._pending) + self._running
+        if not self._durations:
+            return self._MIN_RETRY_AFTER
+        mean = sum(self._durations) / len(self._durations)
+        return max(self._MIN_RETRY_AFTER,
+                   math.ceil(backlog * mean / self.workers))
+
+    # -- worker side ---------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            with self._ready:
+                while not self._pending and not self._closed:
+                    self._ready.wait()
+                if not self._pending:
+                    return  # closed and drained
+                job = self._pending.popleft()
+                self._running += 1
+            job.started_at = time.monotonic()
+            try:
+                job.result = job.fn()
+            except BaseException as exc:  # report, never kill the worker
+                job.error = exc
+            job.finished_at = time.monotonic()
+            with self._lock:
+                self._running -= 1
+                # Drop the in-flight entry before waking waiters: a new
+                # identical request must start fresh, not attach to a
+                # job whose event already fired.
+                self._inflight.pop(job.key, None)
+                self._durations.append(job.service_s)
+                if job.error is None:
+                    self.completed += 1
+                else:
+                    self.errors += 1
+                if self._closed and not self._pending:
+                    self._ready.notify_all()
+            job.event.set()
+
+    # -- lifecycle -----------------------------------------------------
+    def stop(self, drain: bool = True, timeout: float | None = 30.0
+             ) -> bool:
+        """Close the queue; with ``drain`` wait for accepted work.
+
+        Returns True when every worker exited within ``timeout``.
+        Without ``drain``, pending (not yet started) jobs are failed
+        with :class:`QueueClosed` so their waiters unblock.
+        """
+        with self._lock:
+            self._closed = True
+            if not drain:
+                abandoned = list(self._pending)
+                self._pending.clear()
+                for job in abandoned:
+                    self._inflight.pop(job.key, None)
+                    job.error = QueueClosed("daemon stopped")
+            else:
+                abandoned = []
+            self._ready.notify_all()
+        for job in abandoned:
+            job.event.set()
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        for thread in self._threads:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            thread.join(remaining)
+        return not any(t.is_alive() for t in self._threads)
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "depth": self.depth,
+                "pending": len(self._pending),
+                "running": self._running,
+                "submitted": self.submitted,
+                "coalesced": self.coalesced,
+                "rejected_429": self.rejected,
+                "completed": self.completed,
+                "errors": self.errors,
+                "draining": self._closed,
+            }

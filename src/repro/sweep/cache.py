@@ -29,6 +29,7 @@ import hashlib
 import itertools
 import json
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -247,19 +248,42 @@ class DatasetCache:
     this layer only pins the loaded object per owner — dropping a
     harness drops its references, and two harnesses never share cache
     *state* (the fix for the old module-level ``lru_cache``).
+
+    Thread-safe under the serve daemon's request threads: a per-name
+    lock means concurrent requests for the same dataset run one load
+    (all callers get the *same* Graph object — the compiler's
+    per-graph memos key on identity, so a duplicate object would
+    duplicate every shard grid), while different datasets load in
+    parallel.
     """
 
     def __init__(self, loader=load_dataset) -> None:
         self._loader = loader
         self._graphs: dict[str, Graph] = {}
+        self._lock = threading.Lock()
+        self._load_locks: dict[str, threading.Lock] = {}
 
     def get(self, name: str) -> Graph:
-        if name not in self._graphs:
-            self._graphs[name] = self._loader(name)
-        return self._graphs[name]
+        with self._lock:
+            graph = self._graphs.get(name)
+            if graph is not None:
+                return graph
+            name_lock = self._load_locks.setdefault(name,
+                                                    threading.Lock())
+        with name_lock:
+            with self._lock:
+                graph = self._graphs.get(name)
+                if graph is not None:
+                    return graph
+            graph = self._loader(name)
+            with self._lock:
+                self._graphs[name] = graph
+                self._load_locks.pop(name, None)
+            return graph
 
     def clear(self) -> None:
-        self._graphs.clear()
+        with self._lock:
+            self._graphs.clear()
 
     def __len__(self) -> int:
         return len(self._graphs)

@@ -146,6 +146,11 @@ def _worker_run(point: SweepPoint) -> PointResult:
     return run_point(point, _harness_for(point.seed, _WORKER_HARNESSES))
 
 
+def _run_chunk(worker_fn, chunk: list) -> list:
+    """Run one chunk of points inside a worker process."""
+    return [worker_fn(point) for point in chunk]
+
+
 def _spawn_context():
     """The ``spawn`` multiprocessing context, or None where unavailable
     (then the platform default start method is used).
@@ -192,12 +197,28 @@ class ProcessPoolScheduler:
     all state from (point, seed), so results do not depend on how the
     pool interleaves work. Failures come back as error results, not
     exceptions.
+
+    Interrupts: a Ctrl-C used to leave spawned workers running to
+    completion — ``pool.map`` consumed results inside a ``with`` block
+    whose ``__exit__`` is ``shutdown(wait=True)``, so the parent
+    *blocked in teardown* until every queued point finished (a
+    100-point DSE sweep kept burning CPU for minutes after the user
+    gave up). ``run`` now submits cancellable per-chunk futures and on
+    ``KeyboardInterrupt`` cancels everything not yet started, SIGTERMs
+    the worker processes, and tears the pool down without waiting; the
+    interrupt propagates so the CLI can exit 130.
+
+    ``worker_fn`` is a test seam: it must be a picklable module-level
+    callable taking one point (spawned workers re-import it). The
+    interrupt regression test injects a blocking function to prove
+    workers actually die.
     """
 
-    def __init__(self, jobs: int = 2) -> None:
+    def __init__(self, jobs: int = 2, worker_fn=_worker_run) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.worker_fn = worker_fn
 
     def run(self, points) -> list[PointResult]:
         points = list(points)
@@ -213,11 +234,30 @@ class ProcessPoolScheduler:
         # enough points per IPC round trip; ceil-div so a short plan
         # never degenerates to chunksize 0.
         chunksize = max(1, -(-len(points) // (workers * 4)))
+        chunks = [points[i:i + chunksize]
+                  for i in range(0, len(points), chunksize)]
         _preload_datasets(points)
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=_spawn_context()) as pool:
-            return list(pool.map(_worker_run, points,
-                                 chunksize=chunksize))
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   mp_context=_spawn_context())
+        futures = []
+        try:
+            futures = [pool.submit(_run_chunk, self.worker_fn, chunk)
+                       for chunk in chunks]
+            results: list[PointResult] = []
+            for future in futures:
+                results.extend(future.result())
+        except KeyboardInterrupt:
+            for future in futures:
+                future.cancel()
+            # The executor offers no public "stop now": terminate the
+            # worker processes directly so blocked points die instead
+            # of running to completion after the user hit Ctrl-C.
+            for process in list((pool._processes or {}).values()):
+                process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown()
+        return results
 
 
 @dataclass

@@ -1,0 +1,555 @@
+"""Tests for the ``repro serve`` daemon: protocol validation, the
+coalescing work queue, the HTTP surface, atomic benchmark writes, and
+the SIGTERM drain path (subprocess)."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    ProtocolError,
+    QueueClosed,
+    QueueFull,
+    ServeState,
+    WorkQueue,
+    make_server,
+    parse_request,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------
+# HTTP plumbing helpers (in-process daemon)
+# ---------------------------------------------------------------------
+@pytest.fixture()
+def daemon(tmp_path):
+    """A live in-process daemon on a free port; yields (state, base)."""
+    state = ServeState(seed=0, workers=2, depth=8, cache_dir=None,
+                       request_timeout_s=60.0)
+    # Hermetic: no repo-level .program-cache reads/writes from tests.
+    state.harness.program_store = None
+    httpd = make_server(state, "127.0.0.1", 0)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.02},
+                              daemon=True)
+    thread.start()
+    try:
+        yield state, f"http://127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        state.queue.stop(drain=False, timeout=5.0)
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def _post(url: str, body: dict, timeout: float = 60.0):
+    """(status, payload, headers); HTTP error statuses are data."""
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode()), \
+                dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode()), \
+            dict(exc.headers)
+
+
+def _get(url: str, timeout: float = 10.0):
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+# ---------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------
+class TestProtocol:
+    def test_run_defaults(self):
+        request = parse_request("run", {"dataset": "tiny",
+                                        "network": "gcn"})
+        assert request.block == 64
+        assert request.hidden_dim == 16
+        assert request.overrides == ()
+
+    def test_key_is_stable_and_discriminating(self):
+        a = parse_request("run", {"dataset": "tiny", "network": "gcn"})
+        b = parse_request("run", {"dataset": "tiny", "network": "gcn"})
+        c = parse_request("run", {"dataset": "tiny", "network": "gcn",
+                                  "block": 32})
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_unknown_dataset_rejected_eagerly(self):
+        with pytest.raises(ProtocolError, match="dataset"):
+            parse_request("run", {"dataset": "nope", "network": "gcn"})
+
+    def test_unknown_network_rejected_eagerly(self):
+        with pytest.raises(ProtocolError, match="network"):
+            parse_request("run", {"dataset": "tiny", "network": "rnn"})
+
+    def test_bad_override_path_rejected_eagerly(self):
+        with pytest.raises(ProtocolError):
+            parse_request("run", {"dataset": "tiny", "network": "gcn",
+                                  "overrides": {"dense.bogus": 4}})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown"):
+            parse_request("run", {"dataset": "tiny", "network": "gcn",
+                                  "blokc": 32})
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ProtocolError, match="endpoint"):
+            parse_request("simulate", {})
+
+    def test_sweep_plan_validated(self):
+        with pytest.raises(ProtocolError, match="plan"):
+            parse_request("sweep", {"plan": "not-a-plan"})
+
+
+# ---------------------------------------------------------------------
+# Work queue
+# ---------------------------------------------------------------------
+class TestWorkQueue:
+    def test_identical_keys_coalesce_to_one_execution(self):
+        queue = WorkQueue(workers=1, depth=8)
+        gate = threading.Event()
+        calls = []
+
+        def work():
+            gate.wait(5.0)
+            calls.append(1)
+            return "done"
+
+        job1, coalesced1 = queue.submit(("k",), work)
+        # Worker may already be running job1; an identical submit must
+        # attach to it either way (inflight covers queued AND running).
+        job2, coalesced2 = queue.submit(("k",), work)
+        assert not coalesced1 and coalesced2
+        assert job2 is job1
+        assert job1.waiters == 2
+        gate.set()
+        assert job1.event.wait(5.0)
+        assert job1.result == "done"
+        assert calls == [1]
+        assert queue.stats()["coalesced"] == 1
+        queue.stop(timeout=5.0)
+
+    def test_full_queue_rejects_with_retry_after(self):
+        queue = WorkQueue(workers=1, depth=1)
+        gate = threading.Event()
+        running = threading.Event()
+
+        def block():
+            running.set()
+            gate.wait(5.0)
+
+        queue.submit(("running",), block)
+        assert running.wait(5.0)  # occupies the worker, not the queue
+        queue.submit(("queued",), lambda: None)
+        with pytest.raises(QueueFull) as excinfo:
+            queue.submit(("rejected",), lambda: None)
+        assert excinfo.value.retry_after >= 1
+        assert queue.stats()["rejected_429"] == 1
+        gate.set()
+        queue.stop(timeout=5.0)
+
+    def test_worker_survives_job_exception(self):
+        queue = WorkQueue(workers=1, depth=4)
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        job, _ = queue.submit(("bad",), boom)
+        assert job.event.wait(5.0)
+        assert isinstance(job.error, RuntimeError)
+        ok, _ = queue.submit(("good",), lambda: 42)
+        assert ok.event.wait(5.0)
+        assert ok.result == 42
+        stats = queue.stats()
+        assert stats["errors"] == 1 and stats["completed"] == 1
+        assert queue.stop(timeout=5.0)
+
+    def test_stop_drains_accepted_work(self):
+        queue = WorkQueue(workers=1, depth=8)
+        gate = threading.Event()
+        jobs = [queue.submit((i,), lambda i=i: gate.wait(5.0) and i
+                             or i)[0]
+                for i in range(4)]
+        gate.set()
+        assert queue.stop(drain=True, timeout=10.0)
+        assert all(job.event.is_set() for job in jobs)
+        assert queue.stats()["completed"] == 4
+        with pytest.raises(QueueClosed):
+            queue.submit(("late",), lambda: None)
+
+    def test_stop_without_drain_fails_pending_jobs(self):
+        queue = WorkQueue(workers=1, depth=8)
+        gate = threading.Event()
+        running = threading.Event()
+
+        def block():
+            running.set()
+            gate.wait(5.0)
+
+        queue.submit(("running",), block)
+        assert running.wait(5.0)
+        pending, _ = queue.submit(("pending",), lambda: "never")
+        gate.set()
+        assert queue.stop(drain=False, timeout=10.0)
+        assert pending.event.is_set()
+        assert isinstance(pending.error, QueueClosed)
+
+
+# ---------------------------------------------------------------------
+# HTTP surface
+# ---------------------------------------------------------------------
+class TestHttpSurface:
+    def test_healthz_and_stats(self, daemon):
+        _, base = daemon
+        status, payload = _get(f"{base}/healthz")
+        assert (status, payload) == (200, {"status": "ok"})
+        status, stats = _get(f"{base}/stats")
+        assert status == 200
+        assert stats["queue"]["workers"] == 2
+        assert set(stats["requests"]) == {"run", "sweep", "dse", "perf"}
+        assert "full_lowerings" in stats["caches"]
+
+    def test_run_matches_direct_simulation(self, daemon):
+        state, base = daemon
+        status, payload, _ = _post(f"{base}/run",
+                                   {"dataset": "tiny",
+                                    "network": "gcn"})
+        assert status == 200
+        from repro.config.workload import WorkloadSpec
+
+        direct = state.harness.gnnerator_result(
+            WorkloadSpec(dataset="tiny", network="gcn"))
+        assert payload["result"]["cycles"] == direct.cycles
+        assert payload["result"]["workload"] == "tiny-gcn"
+        assert payload["coalesced"] is False
+
+    def test_unknown_endpoint_404(self, daemon):
+        _, base = daemon
+        status, payload, _ = _post(f"{base}/simulate", {})
+        assert status == 404
+        assert "unknown endpoint" in payload["error"]
+
+    def test_invalid_json_400(self, daemon):
+        _, base = daemon
+        request = urllib.request.Request(
+            f"{base}/run", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_invalid_request_400(self, daemon):
+        _, base = daemon
+        status, payload, _ = _post(f"{base}/run",
+                                   {"dataset": "nope",
+                                    "network": "gcn"})
+        assert status == 400
+        assert "dataset" in payload["error"]
+
+    def test_executor_failure_maps_to_500(self, daemon):
+        state, base = daemon
+
+        def boom(request):
+            raise RuntimeError("executor exploded")
+
+        state.executors["run"] = boom
+        status, payload, _ = _post(f"{base}/run",
+                                   {"dataset": "tiny",
+                                    "network": "gcn"})
+        assert status == 500
+        assert "executor exploded" in payload["error"]
+
+    def test_429_with_retry_after_when_queue_full(self, tmp_path):
+        state = ServeState(seed=0, workers=1, depth=1, cache_dir=None)
+        state.harness.program_store = None
+        gate = threading.Event()
+        running = threading.Event()
+        real = state.executors["run"]
+
+        def gated(request):
+            running.set()
+            gate.wait(10.0)
+            return real(request)
+
+        state.executors["run"] = gated
+        httpd = make_server(state, "127.0.0.1", 0)
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.02},
+                                  daemon=True)
+        thread.start()
+        try:
+            responses = []
+
+            def fire(block):
+                responses.append(_post(f"{base}/run",
+                                       {"dataset": "tiny",
+                                        "network": "gcn",
+                                        "block": block}))
+
+            # Distinct keys so nothing coalesces: one runs (gated), one
+            # queues (fills depth=1), the third must bounce with 429.
+            t1 = threading.Thread(target=fire, args=(64,))
+            t1.start()
+            assert running.wait(10.0)
+            t2 = threading.Thread(target=fire, args=(32,))
+            t2.start()
+            deadline = time.monotonic() + 10.0
+            while (state.queue.stats()["pending"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            status, payload, headers = _post(f"{base}/run",
+                                             {"dataset": "tiny",
+                                              "network": "gcn",
+                                              "block": 16})
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert payload["retry_after_s"] >= 1
+            gate.set()
+            t1.join(30.0)
+            t2.join(30.0)
+            assert [s for s, _, _ in responses] == [200, 200]
+        finally:
+            gate.set()
+            state.queue.stop(drain=False, timeout=5.0)
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_draining_queue_maps_to_503(self, daemon):
+        state, base = daemon
+        state.queue.stop(drain=False, timeout=5.0)
+        status, payload, _ = _post(f"{base}/run",
+                                   {"dataset": "tiny",
+                                    "network": "gcn"})
+        assert status == 503
+
+
+# ---------------------------------------------------------------------
+# Coalescing end to end (the acceptance criterion)
+# ---------------------------------------------------------------------
+class TestCoalescing:
+    def test_identical_concurrent_requests_compile_once(self, daemon):
+        """8 identical concurrent requests → exactly ONE full lowering
+        and 8 bit-identical responses (counter-asserted, like the CI
+        smoke job does via /stats)."""
+        from repro.compiler.lowering import full_lowering_count
+
+        state, base = daemon
+        gate = threading.Event()
+        real = state.executors["run"]
+
+        def gated(request):
+            gate.wait(30.0)
+            return real(request)
+
+        state.executors["run"] = gated
+        before = full_lowering_count()
+        results = []
+        lock = threading.Lock()
+
+        def fire():
+            outcome = _post(f"{base}/run", {"dataset": "tiny",
+                                            "network": "gcn"})
+            with lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=fire) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Let every request reach the queue while the executor is
+        # gated, so all 8 are in flight together.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            stats = state.queue.stats()
+            if stats["submitted"] + stats["coalesced"] >= 8:
+                break
+            time.sleep(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join(60.0)
+        assert len(results) == 8
+        assert all(status == 200 for status, _, _ in results)
+        bodies = {json.dumps(payload["result"], sort_keys=True)
+                  for _, payload, _ in results}
+        assert len(bodies) == 1, "coalesced responses must be identical"
+        assert full_lowering_count() - before == 1
+        stats = state.queue.stats()
+        assert stats["coalesced"] >= 1
+        # /stats mirrors the counter CI asserts on.
+        _, served = _get(f"{base}/stats")
+        assert served["caches"]["full_lowerings"] \
+            == full_lowering_count()
+
+    def test_warm_repeat_request_compiles_nothing(self, daemon):
+        from repro.compiler.lowering import full_lowering_count
+
+        _, base = daemon
+        status, _, _ = _post(f"{base}/run", {"dataset": "tiny",
+                                             "network": "gcn"})
+        assert status == 200
+        before = full_lowering_count()
+        status, payload, _ = _post(f"{base}/run", {"dataset": "tiny",
+                                                   "network": "gcn"})
+        assert status == 200
+        assert full_lowering_count() == before
+        assert payload["result"]["cycles"] > 0
+
+
+# ---------------------------------------------------------------------
+# Atomic benchmark writes (repro perf / loadtest --output)
+# ---------------------------------------------------------------------
+class TestAtomicBenchmarkWrite:
+    def test_failed_write_preserves_existing_baseline(self, tmp_path):
+        """A serialisation failure mid-write must leave the previous
+        baseline intact and no temp litter (the old plain write_text
+        truncated the target first)."""
+        from repro.eval.hostperf import write_benchmark
+
+        target = tmp_path / "BENCH_host.json"
+        target.write_text('{"workloads": {"keep": "me"}}\n')
+        with pytest.raises(TypeError):
+            write_benchmark({"workloads": object()}, target)
+        assert json.loads(target.read_text()) == {
+            "workloads": {"keep": "me"}}
+        assert list(tmp_path.glob(".*tmp")) == []
+
+    def test_failed_replace_cleans_up_tmp(self, tmp_path, monkeypatch):
+        from repro.eval import hostperf
+
+        target = tmp_path / "BENCH_host.json"
+        target.write_text('{"old": true}\n')
+
+        def broken_replace(src, dst):
+            raise OSError("disk detached mid-publish")
+
+        monkeypatch.setattr(hostperf.os, "replace", broken_replace)
+        with pytest.raises(OSError, match="mid-publish"):
+            hostperf.write_benchmark({"new": True}, target)
+        assert json.loads(target.read_text()) == {"old": True}
+        assert list(tmp_path.glob(".*tmp")) == []
+
+    def test_successful_write_round_trips(self, tmp_path):
+        from repro.eval.hostperf import load_benchmark, write_benchmark
+
+        target = tmp_path / "BENCH_serve.json"
+        payload = {"meta": {"python": "x"}, "workloads": {}}
+        write_benchmark(payload, target)
+        assert load_benchmark(target)["meta"] == {"python": "x"}
+        assert list(tmp_path.glob(".*tmp")) == []
+
+
+# ---------------------------------------------------------------------
+# Loadtest harness
+# ---------------------------------------------------------------------
+class TestLoadtest:
+    def test_loadtest_reports_latency_and_zero_lowerings_warm(
+            self, daemon, tmp_path):
+        from repro.serve.loadtest import (
+            run_loadtest,
+            write_serve_benchmark,
+        )
+
+        _, base = daemon
+        # Warm: first request pays the one compile.
+        assert _post(f"{base}/run", {"dataset": "tiny",
+                                     "network": "gcn"})[0] == 200
+        payload = run_loadtest(base, requests=12, rate=200.0,
+                               concurrency=4, seed=7)
+        assert payload["counts"]["ok"] == 12
+        assert payload["counts"]["errors"] == 0
+        assert payload["latency_ms"]["p50"] > 0
+        assert payload["latency_ms"]["p99"] >= payload["latency_ms"]["p50"]
+        assert payload["stats_delta"]["full_lowerings"] == 0
+        assert payload["stats_delta"]["completed"] >= 1
+        out = tmp_path / "BENCH_serve.json"
+        write_serve_benchmark(payload, out)
+        assert json.loads(out.read_text())["counts"]["ok"] == 12
+
+    def test_loadtest_unreachable_daemon_raises(self):
+        from repro.serve.loadtest import LoadTestError, run_loadtest
+
+        with pytest.raises(LoadTestError, match="cannot reach"):
+            run_loadtest("http://127.0.0.1:9", requests=1)
+
+    def test_percentile_nearest_rank(self):
+        from repro.serve.loadtest import percentile
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 99) == 4.0
+        assert percentile([5.0], 50) == 5.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+# ---------------------------------------------------------------------
+# Daemon lifecycle (subprocess, real signals)
+# ---------------------------------------------------------------------
+class TestDaemonLifecycle:
+    def _spawn(self, tmp_path, *extra):
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_PROGRAM_CACHE=str(tmp_path / "ps"),
+                   REPRO_DATASET_CACHE=str(tmp_path / "ds"))
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--cache-dir",
+             str(tmp_path / "sweep"), *extra],
+            cwd=tmp_path, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+
+    def _wait_ready(self, process) -> str:
+        line = process.stdout.readline()
+        assert "serving on http://" in line, (
+            f"daemon did not come up: {line!r}")
+        return line.split("http://", 1)[1].split()[0].rstrip("/")
+
+    def test_sigterm_drains_inflight_then_exits_zero(self, tmp_path):
+        process = self._spawn(tmp_path)
+        try:
+            address = self._wait_ready(process)
+            status, payload, _ = _post(f"http://{address}/run",
+                                       {"dataset": "tiny",
+                                        "network": "gcn"},
+                                       timeout=120.0)
+            assert status == 200 and payload["result"]["cycles"] > 0
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=60.0)
+            assert process.returncode == 0, out
+            assert "drained cleanly" in out
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+    def test_sigint_exits_130(self, tmp_path):
+        process = self._spawn(tmp_path)
+        try:
+            self._wait_ready(process)
+            process.send_signal(signal.SIGINT)
+            out, _ = process.communicate(timeout=60.0)
+            assert process.returncode == 130, out
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()

@@ -1,0 +1,161 @@
+"""Hammer tests for the memos the serve daemon shares across request
+threads: the Harness compiled-program memo, the per-harness dataset
+cache, the per-graph shard-grid memo and the lowering weight memos.
+
+The invariants under concurrency:
+
+* N identical requests → exactly ONE full lowering (the per-key
+  compile lock), and everyone gets the *same* Program object.
+* N distinct requests → one lowering each, all running in parallel.
+* Graph/params objects stay unique per key — the compiler's weight
+  memos are WeakKeyDictionaries keyed by *identity*, so a duplicate
+  object would silently duplicate work (and, for GAT, the whole
+  shadow execution).
+* Cycles are bit-identical to a serial run: locking is a host-side
+  change and must never move modeled time.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.compiler.lowering import full_lowering_count
+from repro.config.workload import WorkloadSpec
+from repro.eval.harness import Harness
+from repro.sweep.cache import DatasetCache
+
+HAMMER_THREADS = 12
+
+
+def _hammer(fn, n: int = HAMMER_THREADS) -> list:
+    """Run ``fn(i)`` on n threads through a start barrier, so every
+    thread hits the guarded section at the same instant."""
+    barrier = threading.Barrier(n)
+    results: list = [None] * n
+    errors: list = []
+
+    def runner(i: int) -> None:
+        try:
+            barrier.wait(10.0)
+            results[i] = fn(i)
+        except BaseException as exc:  # surfaced below, with index
+            errors.append((i, exc))
+
+    with ThreadPoolExecutor(max_workers=n) as pool:
+        list(pool.map(runner, range(n)))
+    assert not errors, f"hammer threads failed: {errors}"
+    return results
+
+
+class TestHarnessCompileHammer:
+    def test_identical_requests_lower_once(self):
+        harness = Harness(program_store=None)
+        spec = WorkloadSpec(dataset="tiny", network="gcn")
+        before = full_lowering_count()
+        programs = _hammer(
+            lambda _: harness.gnnerator_program(spec))
+        assert full_lowering_count() - before == 1
+        # One compilation ⇒ one object: every thread shares it.
+        assert all(p is programs[0] for p in programs)
+        stats = harness.cache_stats()["memo"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == HAMMER_THREADS - 1
+
+    def test_distinct_requests_lower_once_each(self):
+        harness = Harness(program_store=None)
+        blocks = [4, 8, 16, 32]
+        specs = [WorkloadSpec(dataset="tiny", network="gcn",
+                              feature_block=block)
+                 for block in blocks for _ in range(3)]
+        before = full_lowering_count()
+        programs = _hammer(lambda i: harness.gnnerator_program(specs[i]),
+                           n=len(specs))
+        assert full_lowering_count() - before == len(blocks)
+        by_block: dict[int, set[int]] = {}
+        for spec, program in zip(specs, programs):
+            by_block.setdefault(spec.feature_block,
+                                set()).add(id(program))
+        assert all(len(ids) == 1 for ids in by_block.values())
+
+    def test_concurrent_cycles_match_serial_run(self):
+        """The §4 invariant under threads: locking changes wall time
+        only — concurrent simulations report the exact cycles a fresh
+        serial harness computes."""
+        spec = WorkloadSpec(dataset="tiny", network="gcn")
+        serial = Harness(program_store=None).gnnerator_result(spec)
+        harness = Harness(program_store=None)
+        results = _hammer(lambda _: harness.gnnerator_result(spec))
+        assert {r.cycles for r in results} == {serial.cycles}
+
+    def test_gat_params_identity_preserved(self):
+        """params() must hand every thread the same Parameters object:
+        the baked-attention memo keys on params identity, so duplicates
+        would re-run the GAT shadow execution on a recompile."""
+        harness = Harness(program_store=None)
+        spec = WorkloadSpec(dataset="tiny", network="gat")
+        params = _hammer(lambda _: harness.params(spec))
+        assert all(p is params[0] for p in params)
+
+
+class TestDatasetCacheHammer:
+    def test_same_name_loads_once_and_shares_object(self):
+        loads: list[str] = []
+        load_lock = threading.Lock()
+
+        def loader(name: str):
+            with load_lock:
+                loads.append(name)
+            from repro.graph.datasets import load_dataset
+
+            return load_dataset(name)
+
+        cache = DatasetCache(loader=loader)
+        graphs = _hammer(lambda _: cache.get("tiny"))
+        assert loads == ["tiny"]
+        assert all(g is graphs[0] for g in graphs)
+
+    def test_distinct_names_load_in_parallel(self):
+        started = threading.Barrier(2)
+
+        def loader(name: str):
+            # Both loads must be in flight at once — a cache-wide lock
+            # held across loading would deadlock this barrier.
+            started.wait(10.0)
+            from repro.graph.datasets import load_dataset
+
+            return load_dataset(name)
+
+        cache = DatasetCache(loader=loader)
+        names = ["tiny", "cora"]
+        graphs = _hammer(lambda i: cache.get(names[i]), n=2)
+        assert graphs[0].name != graphs[1].name
+
+
+class TestShardGridHammer:
+    def test_same_plan_builds_one_grid_object(self, small_graph,
+                                              tiny_config):
+        from repro.graph.partition import plan_shards
+
+        grids = _hammer(lambda _: plan_shards(small_graph,
+                                              tiny_config.graph,
+                                              block=8))
+        assert all(g is grids[0] for g in grids)
+
+
+class TestLoweringMemoHammer:
+    @pytest.mark.parametrize("network", ["gcn", "gat"])
+    def test_independent_harnesses_share_weight_memos_safely(
+            self, network):
+        """Two harnesses compiling the same dataset concurrently stress
+        the module-level weight memos (shared via the common Graph from
+        the dataset loader's own cache); cycles must stay identical."""
+        spec = WorkloadSpec(dataset="tiny", network=network)
+        serial = Harness(program_store=None).gnnerator_result(spec)
+        harnesses = [Harness(program_store=None) for _ in range(4)]
+        results = _hammer(
+            lambda i: harnesses[i % len(harnesses)]
+            .gnnerator_result(spec), n=8)
+        assert {r.cycles for r in results} == {serial.cycles}
