@@ -23,6 +23,7 @@ from repro.engines.graph.engine import GraphEngine
 from repro.graph.graph import Graph
 from repro.models.layers import Parameters
 from repro.models.stages import GNNModel
+from repro.obs.spans import span
 from repro.sim.coalesce import DeadlockSuspension, run_plan
 from repro.sim.kernel import Environment, SimulationError
 from repro.sim.memory import DramChannel
@@ -84,7 +85,8 @@ class GNNerator:
 
     def simulate(self, program: Program,
                  tracer: Tracer | None = None,
-                 coalesce: bool | None = None) -> ExecutionResult:
+                 coalesce: bool | None = None,
+                 probe=None) -> ExecutionResult:
         """Replay a compiled program on the discrete-event machine.
 
         By default the coalesced kernel (:mod:`repro.sim.coalesce`)
@@ -96,6 +98,12 @@ class GNNerator:
         ``coalesce=False``; pass ``coalesce=False`` explicitly to force
         the process-based kernel (the two are locked cycle-identical by
         ``tests/test_coalesce.py``).
+
+        ``probe`` (:class:`repro.obs.hwtel.HwProbe`) collects the raw
+        hardware-telemetry stream — compute busy windows, DRAM bursts,
+        port-queue depth — from *either* kernel; the two streams are
+        identical for the same program (``tests/test_obs.py``), and
+        probing never changes cycle counts.
         """
         if coalesce is None:
             coalesce = tracer is None
@@ -104,15 +112,19 @@ class GNNerator:
                 "tracing requires the per-operation kernel; pass "
                 "coalesce=False (or omit it) when using a tracer")
         if coalesce:
-            return self._simulate_coalesced(program)
-        env = Environment()
-        controller = Controller(env)
-        dram = DramChannel(env, self.config.dram)
-        graph_engine = GraphEngine(env, self.config.graph, controller, dram)
-        dense_engine = DenseEngine(env, self.config.dense, controller, dram)
-        graph_engine.launch(program.queues, tracer)
-        dense_engine.launch(program.queues, tracer)
-        env.run()
+            return self._simulate_coalesced(program, probe)
+        with span("simulate", kernel="event",
+                  graph=program.graph_name):
+            env = Environment()
+            controller = Controller(env)
+            dram = DramChannel(env, self.config.dram, probe=probe)
+            graph_engine = GraphEngine(env, self.config.graph,
+                                       controller, dram)
+            dense_engine = DenseEngine(env, self.config.dense,
+                                       controller, dram)
+            graph_engine.launch(program.queues, tracer, probe)
+            dense_engine.launch(program.queues, tracer, probe)
+            env.run()
         if not (graph_engine.finished() and dense_engine.finished()):
             stuck = [name for engine in (graph_engine, dense_engine)
                      for name, proc in engine.processes.items()
@@ -135,7 +147,8 @@ class GNNerator:
             num_operations=program.num_operations,
         )
 
-    def _simulate_coalesced(self, program: Program) -> ExecutionResult:
+    def _simulate_coalesced(self, program: Program,
+                            probe=None) -> ExecutionResult:
         """Replay the program's precompiled action chains.
 
         Every field of the result except the cycle count is a static
@@ -145,7 +158,9 @@ class GNNerator:
         """
         plan = program.coalesced_plan(self.config.dram)
         try:
-            cycles = run_plan(plan)
+            with span("simulate", kernel="coalesced",
+                      graph=program.graph_name):
+                cycles = run_plan(plan, probe)
         except DeadlockSuspension as exc:
             raise DeadlockError(
                 f"simulation deadlocked; unfinished units: "

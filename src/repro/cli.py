@@ -15,6 +15,8 @@ Usage::
     gnnerator perf --datasets tiny,cora  # host wall-clock trajectory
     gnnerator serve --workers 2     # persistent simulation daemon
     gnnerator loadtest --requests 50 --rate 50  # Poisson burst vs daemon
+    gnnerator profile cora gcn      # phase wall time + hottest shards
+    gnnerator trace tiny gcn --perfetto trace.json  # Perfetto export
 
 (or ``python -m repro ...``)
 """
@@ -154,12 +156,35 @@ def _cmd_run(args: argparse.Namespace) -> str:
                         hidden_dim=args.hidden_dim)
     harness = Harness()
     accelerator = GNNerator(gnnerator_config(feature_block=args.block))
-    result = accelerator.run(harness.graph(spec.dataset),
-                             harness.model(spec),
-                             params=harness.params(spec),
-                             feature_block=args.block)
+    trace_path = None
+    if args.trace_out:
+        # Telemetry run: same coalesced kernel, same cycle count — the
+        # probe and span tracer only observe (DESIGN.md §8).
+        from repro.obs import HwProbe, write_perfetto
+        from repro.obs.spans import SpanTracer, tracing
+
+        probe = HwProbe()
+        host_spans = SpanTracer()
+        with tracing(host_spans):
+            program = accelerator.compile(harness.graph(spec.dataset),
+                                          harness.model(spec),
+                                          params=harness.params(spec),
+                                          feature_block=args.block)
+            result = accelerator.simulate(program, probe=probe)
+        trace_path = write_perfetto(args.trace_out, spans=host_spans,
+                                    probe=probe,
+                                    frequency_ghz=result.frequency_ghz,
+                                    total_cycles=result.cycles)
+    else:
+        result = accelerator.run(harness.graph(spec.dataset),
+                                 harness.model(spec),
+                                 params=harness.params(spec),
+                                 feature_block=args.block)
     lines = [f"workload: {spec.label} (B={args.block})",
              f"result:   {result.describe()}"]
+    if trace_path is not None:
+        lines.append(f"trace:    wrote {trace_path} (load in "
+                     f"https://ui.perfetto.dev)")
     gpu = harness.gpu_seconds(spec)
     hygcn = harness.hygcn_seconds(spec)
     lines.append(f"GPU baseline:   {gpu * 1e6:.1f} us "
@@ -394,7 +419,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     args.exit_code = serve(host=args.host, port=args.port,
                            seed=args.seed, workers=args.workers,
-                           depth=args.depth, cache_dir=args.cache_dir)
+                           depth=args.depth, cache_dir=args.cache_dir,
+                           log_level=args.log_level)
     return ""
 
 
@@ -441,13 +467,49 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     spec = WorkloadSpec(dataset=args.dataset, network=args.network)
     harness = Harness()
     accelerator = GNNerator(gnnerator_config())
-    program = accelerator.compile(harness.graph(spec.dataset),
-                                  harness.model(spec),
-                                  params=harness.params(spec))
     tracer = Tracer()
-    result = accelerator.simulate(program, tracer=tracer)
+    extra = ""
+    if args.perfetto:
+        # Per-op tracing needs the event kernel; collect host spans and
+        # the hardware probe alongside so one file carries all three
+        # signal families (load/compile/simulate spans, labelled op
+        # slices, DRAM counter tracks).
+        from repro.obs import HwProbe, write_perfetto
+        from repro.obs.spans import SpanTracer, tracing
+
+        probe = HwProbe()
+        host_spans = SpanTracer()
+        with tracing(host_spans):
+            program = accelerator.compile(harness.graph(spec.dataset),
+                                          harness.model(spec),
+                                          params=harness.params(spec))
+            result = accelerator.simulate(program, tracer=tracer,
+                                          probe=probe)
+        sim_ops = [(e.unit, e.label, e.issue, e.complete)
+                   for e in tracer.events]
+        path = write_perfetto(args.perfetto, spans=host_spans,
+                              probe=probe, sim_ops=sim_ops,
+                              frequency_ghz=result.frequency_ghz,
+                              total_cycles=result.cycles)
+        extra = (f"\n\nwrote {path} (load in "
+                 f"https://ui.perfetto.dev)")
+    else:
+        program = accelerator.compile(harness.graph(spec.dataset),
+                                      harness.model(spec),
+                                      params=harness.params(spec))
+        result = accelerator.simulate(program, tracer=tracer)
     return (f"{spec.label}: {result.describe()}\n\n"
-            f"{render_gantt(tracer)}")
+            f"{render_gantt(tracer)}{extra}")
+
+
+def _cmd_profile(args: argparse.Namespace) -> str:
+    from repro.obs import profile_workload, render_profile
+
+    payload = profile_workload(args.dataset, args.network,
+                               hidden_dim=args.hidden_dim,
+                               feature_block=args.block,
+                               seed=args.seed, top_k=args.top_k)
+    return render_profile(payload)
 
 
 def _cmd_bottleneck(args: argparse.Namespace) -> str:
@@ -490,6 +552,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--block", type=_positive_int, default=64,
                      help="feature block size B (default 64)")
     run.add_argument("--hidden-dim", type=_positive_int, default=16)
+    run.add_argument("--trace-out", default=None, metavar="OUT.json",
+                     help="also write a Chrome/Perfetto trace (host "
+                          "spans + hardware telemetry; identical "
+                          "cycle count)")
     run.set_defaults(handler=_cmd_run)
     sweep = sub.add_parser(
         "sweep",
@@ -519,7 +585,24 @@ def build_parser() -> argparse.ArgumentParser:
                            help="render a pipeline Gantt chart")
     trace.add_argument("dataset", choices=DATASET_NAMES)
     trace.add_argument("network", choices=NETWORK_NAMES)
+    trace.add_argument("--perfetto", default=None, metavar="OUT.json",
+                       help="also write a Chrome/Perfetto trace with "
+                            "per-operation slices (event kernel)")
     trace.set_defaults(handler=_cmd_trace)
+    profile = sub.add_parser(
+        "profile",
+        help="profile one workload: per-phase host wall time, engine "
+             "utilization, hottest shards, DRAM roll-up")
+    profile.add_argument("dataset", choices=DATASET_NAMES)
+    profile.add_argument("network", choices=NETWORK_NAMES)
+    profile.add_argument("--hidden-dim", type=_positive_int, default=16)
+    profile.add_argument("--block", type=_positive_int, default=64,
+                         help="feature block size B (default 64)")
+    profile.add_argument("--top-k", type=_positive_int, default=5,
+                         help="hottest shards to list (default 5)")
+    profile.add_argument("--seed", type=int, default=0,
+                         help="parameter-initialisation seed (default 0)")
+    profile.set_defaults(handler=_cmd_profile)
     bottleneck = sub.add_parser(
         "bottleneck",
         help="which resource binds, across hidden dimensions (Fig 5's "
@@ -641,6 +724,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=".sweep-cache",
                        help="sweep result cache directory "
                             "(default .sweep-cache)")
+    serve.add_argument("--log-level",
+                       choices=("debug", "info", "warning", "error"),
+                       default="info",
+                       help="structured request-log threshold on "
+                            "stderr (default info; debug adds stdlib "
+                            "access-log lines)")
     serve.set_defaults(handler=_cmd_serve)
     loadtest = sub.add_parser(
         "loadtest",

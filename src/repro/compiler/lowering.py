@@ -95,6 +95,7 @@ from repro.engines.graph.gpe import (
 )
 from repro.graph.graph import Graph
 from repro.graph.partition import ShardGrid, plan_shards
+from repro.obs.spans import span
 from repro.models.layers import Parameters, dense_forward, init_parameters
 from repro.models.reference import apply_aggregate
 from repro.models.stages import AggregateStage, ExtractStage, GNNModel
@@ -269,6 +270,11 @@ class Lowering:
         global _FULL_LOWERINGS
         with _MEMO_LOCK:
             _FULL_LOWERINGS += 1
+        with span("lower", graph=self.graph.name,
+                  layers=len(self.model.layers)):
+            return self._compile_locked()
+
+    def _compile_locked(self) -> Program:
         program = self.program
         program.declare_array(program.input_array, self.model.in_dim)
         current = ValueRef(program.input_array, Coverage())
@@ -284,7 +290,10 @@ class Lowering:
                     program.grids[(layer_index, stage_index)] = grid
                     program.plans[(layer_index, stage_index, "main")] = (
                         plan_blocks(stage.dim, self.feature_block))
-                    self._prewarm_shards(grid)
+                    with span("shard-batch", layer=layer_index,
+                              stage=stage_index,
+                              shards=grid.grid_side * grid.grid_side):
+                        self._prewarm_shards(grid)
             completions: dict[int, list[tuple[int, int]]] = {}
             for stage_index, stage in enumerate(layer.stages):
                 if isinstance(stage, AggregateStage):

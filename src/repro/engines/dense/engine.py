@@ -38,12 +38,12 @@ class DenseEngine:
         self.processes: dict[str, Process] = {}
 
     def launch(self, queues: dict[str, list[Operation]],
-               tracer: Tracer | None = None) -> None:
+               tracer: Tracer | None = None, probe=None) -> None:
         for unit in UNIT_NAMES:
             self.processes[unit] = self.env.process(
                 unit_process(self.env, unit, queues.get(unit, []),
                              self.controller, self.dram,
-                             self.trackers[unit], tracer),
+                             self.trackers[unit], tracer, probe),
                 name=unit)
 
     @property

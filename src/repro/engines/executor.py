@@ -31,8 +31,15 @@ from repro.sim.trace import Tracer
 
 def execute_op(env: Environment, unit: str, op: Operation,
                controller: Controller, dram: DramChannel,
-               tracker: BusyTracker, tracer: Tracer | None = None):
-    """Generator performing one operation's timing behaviour."""
+               tracker: BusyTracker, tracer: Tracer | None = None,
+               probe=None):
+    """Generator performing one operation's timing behaviour.
+
+    ``probe`` (:class:`repro.obs.hwtel.HwProbe`) records compute
+    occupancy windows; DRAM bursts are recorded by the channel itself
+    (:class:`~repro.sim.memory.DramChannel`). Append-only — a probed
+    run is cycle-identical to an unprobed one.
+    """
     for token in op.wait:
         yield controller.wait(token)
     if isinstance(op, AcquireOp):
@@ -54,6 +61,8 @@ def execute_op(env: Environment, unit: str, op: Operation,
         cycles = op_cycles(op)
         if cycles:
             tracker.record(cycles)
+            if probe is not None:
+                probe.busy.append((unit, env.now, env.now + cycles))
             yield env.timeout(cycles)
     if tracer is not None:
         tracer.record(unit, op.label or type(op).__name__, start, env.now)
@@ -63,11 +72,12 @@ def execute_op(env: Environment, unit: str, op: Operation,
 
 def unit_process(env: Environment, unit: str, ops: list[Operation],
                  controller: Controller, dram: DramChannel,
-                 tracker: BusyTracker, tracer: Tracer | None = None):
+                 tracker: BusyTracker, tracer: Tracer | None = None,
+                 probe=None):
     """Process body running a whole unit queue to completion."""
     for op in ops:
         yield from execute_op(env, unit, op, controller, dram, tracker,
-                              tracer)
+                              tracer, probe)
 
 
 class DeadlockError(SimulationError):

@@ -30,6 +30,7 @@ from repro.graph.graph import Graph
 from repro.models.layers import Parameters, init_parameters
 from repro.models.stages import GNNModel
 from repro.models.zoo import build_network
+from repro.obs.spans import span
 from repro.sweep.cache import DatasetCache
 
 
@@ -102,6 +103,11 @@ class Harness:
         self._lock = threading.RLock()
         #: One lock per in-flight compile key (see :meth:`_compiled`).
         self._compile_locks: dict[tuple, threading.Lock] = {}
+        #: Which cache layer satisfied this *thread's* most recent
+        #: :meth:`_compiled` call ("memo" | "store" | "compiled").
+        #: Thread-local so concurrent daemon workers can attribute a
+        #: tier to their own request without racing on a counter delta.
+        self._tier = threading.local()
         if program_store == "default":
             program_store = default_program_store()
         self.program_store = program_store
@@ -110,7 +116,8 @@ class Harness:
     def graph(self, dataset: str) -> Graph:
         """The (cached) benchmark graph; caching is per harness, so
         instances never share mutable cache state."""
-        return self._datasets.get(dataset)
+        with span("load", dataset=dataset):
+            return self._datasets.get(dataset)
 
     def model(self, spec: WorkloadSpec) -> GNNModel:
         stats = dataset_stats(spec.dataset)
@@ -181,6 +188,7 @@ class Harness:
             program = self._programs.get(key)
             if program is not None:
                 self._memo_hits += 1
+                self._tier.value = "memo"
                 return program
             key_lock = self._compile_locks.setdefault(key,
                                                       threading.Lock())
@@ -190,38 +198,53 @@ class Harness:
                 if program is not None:
                     # Another thread compiled it while we waited.
                     self._memo_hits += 1
+                    self._tier.value = "memo"
                     return program
                 self._memo_misses += 1
             graph = self.graph(spec.dataset)
             store = self.program_store
             store_key = None
             program = None
-            if store is not None:
-                fingerprint = self._fingerprint(spec.dataset)
-                if fingerprint is not None:
-                    store_key = store.key(program_key_payload(
-                        dataset_fingerprint=fingerprint,
-                        network=spec.network,
-                        hidden_dim=spec.hidden_dim,
+            tier = "compiled"
+            with span("compile", workload=spec.label):
+                if store is not None:
+                    fingerprint = self._fingerprint(spec.dataset)
+                    if fingerprint is not None:
+                        store_key = store.key(program_key_payload(
+                            dataset_fingerprint=fingerprint,
+                            network=spec.network,
+                            hidden_dim=spec.hidden_dim,
+                            traversal=spec.traversal,
+                            feature_block=feature_block,
+                            params_seed=self.seed,
+                            config_projection=projection))
+                        program = store.get(store_key, graph)
+                        if program is not None:
+                            tier = "store"
+                if program is None:
+                    accelerator = GNNerator(config)
+                    program = accelerator.compile(
+                        graph, self.model(spec),
+                        params=self.params(spec),
                         traversal=spec.traversal,
-                        feature_block=feature_block,
-                        params_seed=self.seed,
-                        config_projection=projection))
-                    program = store.get(store_key, graph)
-            if program is None:
-                accelerator = GNNerator(config)
-                program = accelerator.compile(graph, self.model(spec),
-                                              params=self.params(spec),
-                                              traversal=spec.traversal,
-                                              feature_block=feature_block)
-                if store_key is not None:
-                    store.put(store_key, program, graph)
+                        feature_block=feature_block)
+                    if store_key is not None:
+                        store.put(store_key, program, graph)
+            self._tier.value = tier
             with self._lock:
                 if len(self._programs) >= self.PROGRAM_CACHE_MAX_ENTRIES:
                     self._programs.pop(next(iter(self._programs)))
                 self._programs[key] = program
                 self._compile_locks.pop(key, None)
             return program
+
+    def last_compile_tier(self) -> str | None:
+        """Which layer served this thread's most recent compile:
+        ``"memo"``, ``"store"`` or ``"compiled"`` (None = no compile
+        on this thread yet). The daemon joins this to its per-request
+        logs — a thread-local, not a counter delta, so it stays
+        accurate under concurrent workers."""
+        return getattr(self._tier, "value", None)
 
     def cache_stats(self) -> dict:
         """Hit/miss counters of this harness's program caches."""

@@ -46,6 +46,7 @@ from repro.accelerator import GNNerator
 from repro.config.workload import WorkloadSpec
 from repro.eval.harness import Harness
 from repro.graph import datasets as dataset_registry
+from repro.obs.spans import span
 
 #: ``--check`` fails when measured total_s exceeds baseline * this.
 DEFAULT_REGRESSION_FACTOR = 2.0
@@ -129,13 +130,14 @@ def measure_workload(dataset: str, network: str, hidden_dim: int = 16,
         # compiler's per-graph memos never leak between repeats.)
         dataset_registry._synthesize.cache_clear()
         harness = Harness(program_store=program_store)
-        load_s, graph = _timed(lambda: harness.graph(dataset))
-        config, feature_block = harness._resolve_config(spec, None)
-        compile_s, program = _timed(
-            lambda: harness._compiled(spec, config, feature_block))
-        simulate_s, result = _timed(
-            lambda: GNNerator(config).simulate(program,
-                                               coalesce=coalesce))
+        with span("measure", workload=spec.label):
+            load_s, graph = _timed(lambda: harness.graph(dataset))
+            config, feature_block = harness._resolve_config(spec, None)
+            compile_s, program = _timed(
+                lambda: harness._compiled(spec, config, feature_block))
+            simulate_s, result = _timed(
+                lambda: GNNerator(config).simulate(program,
+                                                   coalesce=coalesce))
         if cycles is not None and result.cycles != cycles:
             raise RuntimeError(
                 f"{spec.label}: cycles changed between repeats "

@@ -1,0 +1,125 @@
+"""Simulated-hardware telemetry: raw probe events + derived windows.
+
+The probe is the *only* thing the simulation kernels know about
+telemetry: an :class:`HwProbe` is three append-only lists that both
+kernels fill behind a ``probe is not None`` branch —
+
+* ``busy``  — ``(unit, start, end)`` compute-occupancy windows,
+* ``dram``  — ``(unit, direction, grant_cycle, occupancy_cycles,
+  num_bytes)`` per burst, recorded when the channel port is granted,
+* ``queue`` — ``(cycle, depth)`` DRAM-port queue depth (holders +
+  waiters) sampled at each request's arrival.
+
+Everything an operator actually wants — per-engine utilization over
+time, DRAM bandwidth per window, queue-occupancy peaks — is **derived
+here, after the run**, by binning those raw events into cycle-time
+windows (:func:`bin_windows`). Deriving instead of sampling inside
+the kernels is a correctness posture, not a convenience: recording
+appends to a list and never reads scheduler state, so enabling a
+probe cannot reorder events or move a cycle count (the §4 obligation;
+``tests/test_obs.py`` pins probe-on == probe-off == golden). It also
+keeps the two kernels honest with each other — both emit the *same*
+raw event stream for the same program, which the cross-kernel
+equality test checks directly.
+"""
+
+from __future__ import annotations
+
+
+class HwProbe:
+    """Raw event sink both simulation kernels append into."""
+
+    __slots__ = ("busy", "dram", "queue")
+
+    def __init__(self) -> None:
+        self.busy: list[tuple[str, int, int]] = []
+        self.dram: list[tuple[str, str, int, int, int]] = []
+        self.queue: list[tuple[int, int]] = []
+
+    def units(self) -> list[str]:
+        return sorted({unit for unit, _, _ in self.busy}
+                      | {unit for unit, *_ in self.dram})
+
+
+def bin_windows(probe: HwProbe, total_cycles: int,
+                num_windows: int = 24) -> list[dict]:
+    """Bin raw probe events into ``num_windows`` equal cycle windows.
+
+    Each window reports per-unit busy cycles (compute occupancy
+    overlapping the window), DRAM read/write bytes (attributed
+    proportionally to the burst's occupancy overlap — a burst spanning
+    a window edge splits its bytes by time, mirroring how a bandwidth
+    meter would see it), DRAM busy cycles, and the peak port-queue
+    depth sampled in the window.
+    """
+    if num_windows < 1:
+        raise ValueError(f"num_windows must be >= 1, got {num_windows}")
+    span = max(total_cycles, 1)
+    width = span / num_windows
+    windows = []
+    for i in range(num_windows):
+        windows.append({
+            "start": int(i * width),
+            "end": int((i + 1) * width) if i + 1 < num_windows else span,
+            "busy_cycles": {},
+            "dram_read_bytes": 0.0,
+            "dram_write_bytes": 0.0,
+            "dram_busy_cycles": 0.0,
+            "queue_peak": 0,
+        })
+
+    def overlapping(start: float, end: float):
+        """Yield (window, overlap_cycles) for one [start, end) event."""
+        if end <= start:
+            return
+        first = min(int(start / width), num_windows - 1)
+        for i in range(first, num_windows):
+            w = windows[i]
+            lo, hi = i * width, (i + 1) * width
+            if lo >= end:
+                break
+            overlap = min(end, hi) - max(start, lo)
+            if overlap > 0:
+                yield w, overlap
+
+    for unit, start, end in probe.busy:
+        for w, overlap in overlapping(start, end):
+            w["busy_cycles"][unit] = (w["busy_cycles"].get(unit, 0.0)
+                                      + overlap)
+    for unit, direction, start, occupancy, num_bytes in probe.dram:
+        end = start + occupancy
+        key = ("dram_read_bytes" if direction == "read"
+               else "dram_write_bytes")
+        for w, overlap in overlapping(start, end):
+            w["dram_busy_cycles"] += overlap
+            w[key] += num_bytes * (overlap / max(occupancy, 1))
+    for cycle, depth in probe.queue:
+        index = min(int(cycle / width), num_windows - 1)
+        w = windows[index]
+        w["queue_peak"] = max(w["queue_peak"], depth)
+    return windows
+
+
+def summarize_probe(probe: HwProbe, total_cycles: int) -> dict:
+    """Whole-run aggregates: per-unit utilization, DRAM bandwidth
+    (bytes/cycle) and peak queue depth — the cross-check against the
+    coalesced plan's static accounting."""
+    span = max(total_cycles, 1)
+    busy: dict[str, int] = {}
+    for unit, start, end in probe.busy:
+        busy[unit] = busy.get(unit, 0) + (end - start)
+    read = sum(b for _, d, _, _, b in probe.dram if d == "read")
+    write = sum(b for _, d, _, _, b in probe.dram if d == "write")
+    dram_busy = sum(occ for _, _, _, occ, _ in probe.dram)
+    return {
+        "total_cycles": total_cycles,
+        "unit_busy_cycles": dict(sorted(busy.items())),
+        "unit_utilization": {
+            unit: min(cycles / span, 1.0)
+            for unit, cycles in sorted(busy.items())},
+        "dram_read_bytes": read,
+        "dram_write_bytes": write,
+        "dram_busy_cycles": dram_busy,
+        "dram_bytes_per_cycle": (read + write) / span,
+        "queue_peak": max((d for _, d in probe.queue), default=0),
+    }

@@ -1,0 +1,67 @@
+"""Structured JSON logging for the serving daemon.
+
+One line per event, each a self-contained JSON object — the format
+log aggregators ingest without a parser config. The daemon emits one
+``request`` line per HTTP request (request id, endpoint, coalescing
+key, queue wait, service time, cache-hit tier) so a client-side
+latency outlier or a 429 can be joined to exactly what the server did
+with that request.
+
+Levels follow syslog-ish severity ordering; a logger configured at
+``info`` drops ``debug`` lines before formatting them, so the default
+daemon pays nothing for the chatty per-connection stdlib log lines
+routed here at debug level.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class JsonLogger:
+    """Thread-safe newline-delimited JSON logger."""
+
+    def __init__(self, level: str = "info", stream=None) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; choose "
+                             f"from {', '.join(LEVELS)}")
+        self.level = level
+        self._threshold = LEVELS[level]
+        #: Resolved lazily so tests capturing sys.stderr see the lines.
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def enabled(self, level: str) -> bool:
+        return LEVELS.get(level, 0) >= self._threshold
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if not self.enabled(level):
+            return
+        record = {"ts": round(time.time(), 6), "level": level,
+                  "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+            try:
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # closed stream during shutdown; the line is lost
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)

@@ -1,0 +1,291 @@
+"""Counter/gauge/histogram registry with a Prometheus text renderer.
+
+Naming scheme (DESIGN.md §8): every series is prefixed ``repro_``;
+monotonic counters end in ``_total`` (enforced at registration);
+duration histograms end in ``_seconds``. Labels are for bounded
+dimensions only (endpoint, status, cache layer) — never for
+unbounded values like request keys, which belong in the structured
+logs.
+
+Two instrument styles coexist:
+
+* **Direct** instruments (``Counter.inc``, ``Gauge.set``,
+  ``Histogram.observe``) own their state, guarded by a per-instrument
+  lock.
+* **Callback** instruments (``fn=...``) read an existing source of
+  truth at scrape time — this is how the daemon absorbs the counters
+  that already live on the :class:`~repro.serve.workqueue.WorkQueue`,
+  the harness memos, the program store and the dataset disk cache
+  without double-counting or migration. The callback returns either a
+  scalar (unlabelled) or ``{label_values_tuple: value}``.
+
+:func:`render_prometheus` emits text exposition format 0.0.4 (the
+format every Prometheus-compatible scraper speaks);
+:func:`parse_prometheus` is the inverse used by the loadtest delta
+and the CI scrape validation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Latency buckets (seconds) sized for this daemon: tiny-graph warm
+#: hits are sub-millisecond, cold million-edge compiles are tens of
+#: seconds.
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class MetricError(ValueError):
+    """Bad metric name, label set, or type collision."""
+
+
+def _check_labels(labels: tuple[str, ...], values: dict,
+                  name: str) -> tuple:
+    if set(values) != set(labels):
+        raise MetricError(
+            f"{name} expects labels {labels}, got {tuple(values)}")
+    return tuple(str(values[label]) for label in labels)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _Instrument:
+    """Shared shape: name, help, label names, sample storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 labels: tuple[str, ...] = (), fn=None) -> None:
+        if not name.startswith("repro_"):
+            raise MetricError(f"metric {name!r} must start with "
+                              f"'repro_' (see DESIGN.md §8)")
+        self.name = name
+        self.help = help
+        self.labels = tuple(labels)
+        self.fn = fn
+        self._lock = threading.Lock()
+        self._values: dict[tuple, float] = {}
+
+    def samples(self) -> list[tuple[tuple, float]]:
+        """``[(label_values, value)]`` — one entry per series."""
+        if self.fn is not None:
+            got = self.fn()
+            if isinstance(got, dict):
+                return sorted(got.items())
+            return [((), float(got))]
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Counter(_Instrument):
+    kind = "counter"
+
+    def __init__(self, name, help, labels=(), fn=None) -> None:
+        if not name.endswith("_total"):
+            raise MetricError(f"counter {name!r} must end in '_total'")
+        super().__init__(name, help, labels, fn)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up")
+        key = _check_labels(self.labels, labels, self.name)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = _check_labels(self.labels, labels, self.name)
+        with self._lock:
+            self._values[key] = value
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 labels: tuple[str, ...] = (),
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, labels)
+        self.buckets = tuple(sorted(buckets))
+        #: per label set: ([count per bucket], sum, count)
+        self._series: dict[tuple, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _check_labels(self.labels, labels, self.name)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = [
+                    [0] * len(self.buckets), 0.0, 0]
+            counts, _, _ = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            series[1] += value
+            series[2] += 1
+
+    def series(self) -> dict[tuple, dict]:
+        with self._lock:
+            return {
+                key: {"buckets": list(counts), "sum": total,
+                      "count": count}
+                for key, (counts, total, count)
+                in sorted(self._series.items())}
+
+
+class MetricRegistry:
+    """Named instruments; one per daemon (tests build their own)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _register(self, cls, name, *args, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}")
+                return existing
+            instrument = cls(name, *args, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str,
+                labels: tuple[str, ...] = (), fn=None) -> Counter:
+        return self._register(Counter, name, help, labels, fn)
+
+    def gauge(self, name: str, help: str,
+              labels: tuple[str, ...] = (), fn=None) -> Gauge:
+        return self._register(Gauge, name, help, labels, fn)
+
+    def histogram(self, name: str, help: str,
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._register(Histogram, name, help, labels, buckets)
+
+    def instruments(self) -> list[_Instrument]:
+        with self._lock:
+            return [self._instruments[name]
+                    for name in sorted(self._instruments)]
+
+
+def _label_str(names: tuple[str, ...], values: tuple,
+               extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{name}="{_escape_label(str(value))}"'
+             for name, value in zip(names, values)]
+    pairs.extend(f'{name}="{_escape_label(value)}"'
+                 for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """Text exposition format 0.0.4; ends with a trailing newline."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for key, data in instrument.series().items():
+                cumulative = 0
+                for bound, bucket in zip(instrument.buckets,
+                                         data["buckets"]):
+                    cumulative = bucket
+                    labels = _label_str(
+                        instrument.labels, key,
+                        (("le", _format_value(float(bound))),))
+                    lines.append(f"{instrument.name}_bucket{labels} "
+                                 f"{cumulative}")
+                labels = _label_str(instrument.labels, key,
+                                    (("le", "+Inf"),))
+                lines.append(f"{instrument.name}_bucket{labels} "
+                             f"{data['count']}")
+                labels = _label_str(instrument.labels, key)
+                lines.append(f"{instrument.name}_sum{labels} "
+                             f"{_format_value(data['sum'])}")
+                lines.append(f"{instrument.name}_count{labels} "
+                             f"{data['count']}")
+            continue
+        for key, value in instrument.samples():
+            labels = _label_str(instrument.labels, key)
+            lines.append(f"{instrument.name}{labels} "
+                         f"{_format_value(float(value))}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[tuple, float]:
+    """Inverse of :func:`render_prometheus` (subset: no timestamps).
+
+    Returns ``{(name, ((label, value), ...)): value}`` with labels
+    sorted — the shape the loadtest delta diffs. Raises
+    :class:`MetricError` on malformed lines, which is what the CI
+    scrape check leans on.
+    """
+    out: dict[tuple, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        name_part = name_part.strip()
+        if not name_part or not value_part:
+            raise MetricError(f"malformed sample line: {raw!r}")
+        labels: tuple = ()
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise MetricError(f"unterminated labels: {raw!r}")
+            name, _, label_body = name_part.partition("{")
+            label_body = label_body[:-1]
+            pairs = []
+            for chunk in filter(None, label_body.split(",")):
+                key, sep, val = chunk.partition("=")
+                if not sep or not (val.startswith('"')
+                                   and val.endswith('"')):
+                    raise MetricError(f"malformed label {chunk!r} in "
+                                      f"{raw!r}")
+                pairs.append((key, val[1:-1]))
+            labels = tuple(sorted(pairs))
+        else:
+            name = name_part
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise MetricError(f"malformed metric name {name!r}")
+        try:
+            value = float(value_part)
+        except ValueError:
+            raise MetricError(
+                f"malformed value {value_part!r} in {raw!r}") from None
+        out[(name, labels)] = value
+    return out
+
+
+def series_sum(parsed: dict[tuple, float], name: str,
+               **match_labels) -> float:
+    """Sum every sample of ``name`` whose labels include
+    ``match_labels`` — the delta helper for labelled counters."""
+    want = {(k, str(v)) for k, v in match_labels.items()}
+    total = 0.0
+    for (sample_name, labels), value in parsed.items():
+        if sample_name == name and want <= set(labels):
+            total += value
+    return total

@@ -1,0 +1,128 @@
+"""One-shot workload profile: host phases + simulated-hardware summary.
+
+``repro profile <dataset> <network>`` answers "where did the time go?"
+for a single workload without setting up tracing by hand: it runs the
+full pipeline (load → compile → simulate) under a span tracer and a
+hardware probe, then reports
+
+* per-phase host wall time (the span aggregate — load, compile, lower,
+  shard-batch, simulate);
+* per-engine simulated busy cycles and utilization;
+* the top-k hottest shards by GPE compute cycles (straight off the
+  compiled program's :class:`~repro.compiler.ir.ShardAggregateOp`
+  queue entries — a static property of the program, no extra runs);
+* the DRAM roll-up from the probe (bytes each way, achieved
+  bytes/cycle, peak port-queue depth).
+
+Everything here is read-only over existing machinery; profiling runs
+the same simulation as ``repro run`` and reports the same cycle count.
+"""
+
+from __future__ import annotations
+
+from repro.obs.hwtel import HwProbe, summarize_probe
+from repro.obs.spans import SpanTracer, tracing
+
+# The pipeline imports (accelerator, harness) happen inside the
+# functions: the compiler itself imports ``repro.obs`` for its spans,
+# so importing it here would close an import cycle.
+
+
+def hottest_shards(program, top_k: int = 5) -> list[dict]:
+    """The ``top_k`` shard-aggregate ops by compute cycles."""
+    from repro.compiler.ir import ShardAggregateOp
+
+    ops = [op for queue in program.queues.values() for op in queue
+           if isinstance(op, ShardAggregateOp)]
+    ops.sort(key=lambda op: (-op.cycles, op.layer, op.stage, op.shard))
+    return [{
+        "layer": op.layer,
+        "stage": op.stage,
+        "shard": list(op.shard),
+        "cycles": op.cycles,
+        "num_edges": op.num_edges,
+        "max_gpe_edges": op.max_gpe_edges,
+    } for op in ops[:top_k]]
+
+
+def profile_workload(dataset: str, network: str, *,
+                     hidden_dim: int = 16,
+                     feature_block: int | None = 64,
+                     seed: int = 0, top_k: int = 5,
+                     harness=None) -> dict:
+    """Profile one workload end to end; returns the report payload."""
+    from repro.accelerator import GNNerator
+    from repro.config.platforms import gnnerator_config
+    from repro.config.workload import WorkloadSpec
+    from repro.eval.harness import Harness
+
+    if harness is None:
+        harness = Harness(seed=seed)
+    spec = WorkloadSpec(dataset=dataset, network=network,
+                        hidden_dim=hidden_dim,
+                        feature_block=feature_block)
+    tracer = SpanTracer()
+    probe = HwProbe()
+    with tracing(tracer):
+        program = harness.gnnerator_program(spec)
+        config = gnnerator_config(feature_block=spec.feature_block)
+        result = GNNerator(config).simulate(program, probe=probe)
+    phases = tracer.by_name()
+    wall_s = sum(info["total_s"] for info in phases.values()
+                 if info["depth"] == 0)
+    return {
+        "workload": spec.label,
+        "dataset": dataset,
+        "network": network,
+        "hidden_dim": hidden_dim,
+        "feature_block": feature_block,
+        "cycles": result.cycles,
+        "seconds": result.seconds,
+        "wall_s": wall_s,
+        "compile_tier": harness.last_compile_tier(),
+        "phases": {
+            name: {"total_s": info["total_s"], "count": info["count"]}
+            for name, info in sorted(phases.items(),
+                                     key=lambda kv: -kv[1]["total_s"])},
+        "engines": {
+            unit: {"busy_cycles": busy,
+                   "utilization": result.utilization(unit)}
+            for unit, busy in sorted(result.unit_busy_cycles.items())},
+        "hottest_shards": hottest_shards(program, top_k),
+        "dram": summarize_probe(probe, result.cycles),
+    }
+
+
+def render_profile(payload: dict) -> str:
+    """Human-readable profile report."""
+    lines = [
+        f"profile {payload['workload']} "
+        f"(hidden={payload['hidden_dim']}, "
+        f"block={payload['feature_block']})",
+        f"  simulated: {payload['cycles']} cycles "
+        f"({payload['seconds'] * 1e6:.1f} us), "
+        f"host wall {payload['wall_s'] * 1e3:.1f} ms, "
+        f"compile tier: {payload['compile_tier']}",
+        "  host phases:",
+    ]
+    for name, info in payload["phases"].items():
+        lines.append(f"    {name:<12} {info['total_s'] * 1e3:9.2f} ms"
+                     f"  x{info['count']}")
+    lines.append("  engines:")
+    for unit, info in payload["engines"].items():
+        lines.append(f"    {unit:<16} {info['busy_cycles']:>10} cycles"
+                     f"  {info['utilization']:6.1%}")
+    dram = payload["dram"]
+    lines.append(
+        f"  dram: {dram['dram_read_bytes']} B read, "
+        f"{dram['dram_write_bytes']} B written, "
+        f"{dram['dram_bytes_per_cycle']:.2f} B/cycle, "
+        f"queue peak {dram['queue_peak']}")
+    lines.append("  hottest shards (by GPE cycles):")
+    for entry in payload["hottest_shards"]:
+        shard = tuple(entry["shard"])
+        lines.append(
+            f"    l{entry['layer']}s{entry['stage']} shard{shard}"
+            f"  {entry['cycles']:>8} cycles  {entry['num_edges']} edges"
+            f"  (worst GPE {entry['max_gpe_edges']})")
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Low-overhead nested host spans.
+
+A *span* is one timed window of host work — "load the dataset",
+"lower layer 2's shard batch", "simulate" — with a name, wall-clock
+start/duration, the recording thread, and its nesting depth. Spans
+nest lexically through ``with`` blocks and per-thread stacks, so a
+span recorded while another is open on the same thread becomes its
+child (``parent`` id) without any global coordination.
+
+The module-level :func:`span` entry point is what instrumented code
+calls. It dispatches through the installed tracer, which is the
+:data:`NULL_TRACER` singleton unless someone (the ``repro profile`` /
+``--trace-out`` paths) installed a real :class:`SpanTracer`. The null
+tracer returns one shared no-op context manager, so a disabled span
+site costs a global load, one call, and two no-op methods — there is
+deliberately no locking, no allocation and no clock read on that path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One completed host-side window."""
+
+    name: str
+    #: Seconds since the owning tracer's origin (monotonic clock).
+    start_s: float
+    dur_s: float
+    thread: str
+    depth: int
+    #: This span's id and its enclosing span's id (-1 = root). Ids are
+    #: assigned at open time, so parents are stable even though spans
+    #: complete (and are appended) children-first.
+    uid: int = -1
+    parent: int = -1
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.dur_s
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Telemetry disabled: every span site returns the shared no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+class _OpenSpan:
+    """Context manager for one live span on one thread."""
+
+    __slots__ = ("tracer", "name", "attrs", "start", "uid", "parent",
+                 "depth")
+
+    def __init__(self, tracer: SpanTracer, name: str,
+                 attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        stack = self.tracer._stack()
+        self.depth = len(stack)
+        self.parent = stack[-1] if stack else -1
+        self.uid = next(self.tracer._ids)
+        stack.append(self.uid)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter()
+        tracer = self.tracer
+        tracer._stack().pop()
+        record = Span(
+            name=self.name,
+            start_s=self.start - tracer.origin,
+            dur_s=end - self.start,
+            thread=threading.current_thread().name,
+            depth=self.depth,
+            uid=self.uid,
+            parent=self.parent,
+            attrs=self.attrs,
+        )
+        with tracer._lock:
+            tracer.spans.append(record)
+        return False
+
+
+class SpanTracer:
+    """Collects spans from any number of threads.
+
+    ``spans`` holds completed spans in completion order (children
+    before parents, as ``with`` blocks unwind); ``start_s`` values are
+    relative to ``origin`` so one tracer's spans share a timeline.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count()
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs):
+        return _OpenSpan(self, name, attrs)
+
+    # -- reporting -----------------------------------------------------
+    def by_name(self) -> dict[str, dict]:
+        """Aggregate: per span name, total seconds / count / min depth.
+
+        Completion order loses the call tree, but depth survives, so a
+        per-phase report can still indent nested phases correctly.
+        """
+        with self._lock:
+            spans = list(self.spans)
+        out: dict[str, dict] = {}
+        for record in spans:
+            entry = out.setdefault(
+                record.name,
+                {"total_s": 0.0, "count": 0, "depth": record.depth})
+            entry["total_s"] += record.dur_s
+            entry["count"] += 1
+            entry["depth"] = min(entry["depth"], record.depth)
+        return out
+
+
+#: The installed tracer; instrumented code never touches this directly.
+_TRACER: NullTracer | SpanTracer = NULL_TRACER
+
+
+def get_tracer() -> NullTracer | SpanTracer:
+    return _TRACER
+
+
+def set_tracer(tracer: NullTracer | SpanTracer) -> None:
+    global _TRACER
+    _TRACER = tracer
+
+
+def span(name: str, **attrs):
+    """Open a span on the installed tracer (no-op when disabled)."""
+    return _TRACER.span(name, **attrs)
+
+
+@contextmanager
+def tracing(tracer: SpanTracer | None = None):
+    """Install a tracer for the duration of a block and restore the
+    previous one after — the ``repro profile`` / ``--trace-out`` entry
+    point. Yields the active :class:`SpanTracer`."""
+    active = tracer if tracer is not None else SpanTracer()
+    previous = _TRACER
+    set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

@@ -15,7 +15,10 @@ pins:
 * outcome counts (ok / 429-rejected / errors),
 * the daemon's ``/stats`` delta across the burst — in particular
   ``full_lowerings``, which a warm burst must leave at 0 (the CI
-  serve-smoke gate).
+  serve-smoke gate),
+* the daemon's ``/metrics`` delta (Prometheus scrape before/after):
+  OK requests, latency-histogram samples and per-layer cache hits —
+  ``None`` when the target daemon predates the endpoint.
 
 Everything is stdlib (``urllib``); a missing/refused daemon raises
 :class:`LoadTestError` with the URL so the operator knows what to
@@ -49,6 +52,47 @@ def _get_json(url: str, timeout: float = 10.0) -> dict:
     except (urllib.error.URLError, OSError, ValueError) as exc:
         raise LoadTestError(
             f"cannot reach daemon at {url}: {exc}") from None
+
+
+def _scrape_metrics(base_url: str, timeout: float = 10.0) -> dict | None:
+    """Parsed ``/metrics`` samples, or None when the daemon predates
+    the endpoint (the loadtest still works against an old server)."""
+    from repro.obs.metrics import MetricError, parse_prometheus
+
+    try:
+        url = f"{base_url}/metrics"
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            if response.status != 200:
+                return None
+            return parse_prometheus(response.read().decode())
+    except (urllib.error.URLError, OSError, ValueError, MetricError):
+        return None
+
+
+def _metrics_delta(before: dict | None, after: dict | None
+                   ) -> dict | None:
+    """Before/after difference of the burst-relevant counters."""
+    if before is None or after is None:
+        return None
+    from repro.obs.metrics import series_sum
+
+    def diff(name: str, **labels) -> float:
+        return series_sum(after, name, **labels) - series_sum(
+            before, name, **labels)
+
+    return {
+        "full_lowerings": diff("repro_full_lowerings_total"),
+        "coalesced": diff("repro_queue_coalesced_total"),
+        "completed": diff("repro_queue_completed_total"),
+        "rejected_429": diff("repro_queue_rejected_total"),
+        "requests_ok": diff("repro_requests_total", status="200"),
+        "latency_observations": diff(
+            "repro_request_latency_seconds_count"),
+        "cache_hits": {
+            layer: diff("repro_cache_hits_total", layer=layer)
+            for layer in ("harness-memo", "program-store",
+                          "dataset-disk", "result-cache")},
+    }
 
 
 def _post(url: str, body: dict,
@@ -106,6 +150,7 @@ def run_loadtest(base_url: str, body: dict | None = None,
         clock += rng.expovariate(rate)
 
     stats_before = _get_json(f"{base_url}/stats")
+    metrics_before = _scrape_metrics(base_url)
     outcomes: list[tuple[int, float]] = []
     outcome_lock = threading.Lock()
     start = time.monotonic()
@@ -129,6 +174,7 @@ def run_loadtest(base_url: str, body: dict | None = None,
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
         list(pool.map(fire, offsets))
     stats_after = _get_json(f"{base_url}/stats")
+    metrics_after = _scrape_metrics(base_url)
 
     ok = sorted(latency for status, latency in outcomes
                 if status == 200)
@@ -179,6 +225,7 @@ def run_loadtest(base_url: str, body: dict | None = None,
         "counts": {"ok": len(ok), "rejected_429": rejected,
                    "errors": errors},
         "stats_delta": delta,
+        "metrics_delta": _metrics_delta(metrics_before, metrics_after),
         "server_stats": stats_after,
     }
 
@@ -212,4 +259,14 @@ def render(payload: dict) -> str:
         f"  server: {delta.get('full_lowerings', '?')} full "
         f"lowering(s), {delta.get('coalesced', '?')} coalesced, "
         f"{delta.get('completed', '?')} completed during burst")
+    metrics = payload.get("metrics_delta")
+    if metrics is None:
+        lines.append("  /metrics: not available on this daemon")
+    else:
+        hits = metrics["cache_hits"]
+        lines.append(
+            f"  /metrics delta: {metrics['requests_ok']:g} ok request(s)"
+            f", {metrics['latency_observations']:g} latency sample(s), "
+            f"memo hits {hits['harness-memo']:g}, "
+            f"store hits {hits['program-store']:g}")
     return "\n".join(lines)

@@ -15,12 +15,15 @@ existing :class:`~repro.sweep.runner.ProcessPoolScheduler`.
 
 from __future__ import annotations
 
+import itertools
 import json
 import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.logs import JsonLogger
+from repro.obs.metrics import MetricRegistry, render_prometheus
 from repro.serve.protocol import (
     ENDPOINTS,
     ProtocolError,
@@ -41,8 +44,9 @@ class ServeState:
     def __init__(self, seed: int = 0, workers: int = 2, depth: int = 32,
                  cache_dir: str = ".sweep-cache",
                  request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
-                 ) -> None:
+                 log_level: str = "info") -> None:
         from repro.eval.harness import Harness
+        from repro.sweep import NullCache, ResultCache
 
         self.harness = Harness(seed=seed)
         self.seed = seed
@@ -52,6 +56,19 @@ class ServeState:
         self.started_at = time.monotonic()
         self._counter_lock = threading.Lock()
         self.request_counts = {endpoint: 0 for endpoint in ENDPOINTS}
+        self.logger = JsonLogger(level=log_level)
+        #: Monotonic per-daemon request ids ("req-000001", ...), minted
+        #: at POST arrival and echoed in every response payload and
+        #: per-request log line — including 429/500, so a client can
+        #: quote the id when reporting a failure.
+        self.request_ids = itertools.count(1)
+        # One ResultCache for the daemon's lifetime (it hashes the code
+        # tree at construction), shared by every sweep/dse request and
+        # scraped as the "result-cache" layer of the cache metrics.
+        self.result_cache = (ResultCache(cache_dir) if cache_dir
+                             else NullCache())
+        self.metrics = MetricRegistry()
+        self._build_metrics()
         # Indirection so tests can wrap an executor (e.g. to gate its
         # start and observe coalescing deterministically).
         self.executors = {
@@ -60,6 +77,95 @@ class ServeState:
             "dse": self._exec_dse,
             "perf": self._exec_perf,
         }
+
+    def _build_metrics(self) -> None:
+        """Register the daemon's instrument set (DESIGN.md §8).
+
+        Direct instruments (request counter, latency histograms) are
+        incremented by the handler; everything that already has a
+        source of truth — queue counters, cache hit/miss pairs, the
+        lowering counter — is exposed through callback instruments
+        that read it at scrape time, so nothing is double-counted.
+        """
+        from repro.compiler.lowering import full_lowering_count
+
+        m, q = self.metrics, self.queue
+        self.requests_total = m.counter(
+            "repro_requests_total",
+            "HTTP requests by endpoint and response status",
+            labels=("endpoint", "status"))
+        self.request_latency = m.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency (arrival to response)",
+            labels=("endpoint",))
+        self.queue_wait = m.histogram(
+            "repro_request_queue_wait_seconds",
+            "Time a job waited in the work queue before a worker "
+            "picked it up")
+        m.gauge("repro_queue_depth",
+                "Jobs waiting in the work queue",
+                fn=lambda: len(q._pending))
+        m.gauge("repro_queue_running",
+                "Jobs currently executing on queue workers",
+                fn=lambda: q._running)
+        m.counter("repro_queue_submitted_total",
+                  "Jobs accepted into the work queue",
+                  fn=lambda: q.submitted)
+        m.counter("repro_queue_coalesced_total",
+                  "Requests that attached to an identical in-flight job",
+                  fn=lambda: q.coalesced)
+        m.counter("repro_queue_rejected_total",
+                  "Requests rejected with HTTP 429 (queue full)",
+                  fn=lambda: q.rejected)
+        m.counter("repro_queue_completed_total",
+                  "Jobs that finished without error",
+                  fn=lambda: q.completed)
+        m.counter("repro_queue_errors_total",
+                  "Jobs whose executor raised",
+                  fn=lambda: q.errors)
+        m.counter("repro_full_lowerings_total",
+                  "Complete workload lowerings in this process",
+                  fn=full_lowering_count)
+        m.gauge("repro_datasets_pinned",
+                "Datasets held in the harness memory cache",
+                fn=lambda: len(self.harness._datasets))
+        m.gauge("repro_uptime_seconds",
+                "Seconds since the daemon started",
+                fn=lambda: time.monotonic() - self.started_at)
+        m.counter("repro_cache_hits_total",
+                  "Cache hits by layer", labels=("layer",),
+                  fn=self._cache_series("hits"))
+        m.counter("repro_cache_misses_total",
+                  "Cache misses by layer", labels=("layer",),
+                  fn=self._cache_series("misses"))
+
+    def _cache_layers(self) -> dict[str, dict]:
+        """Hit/miss dicts for every cache layer the daemon touches."""
+        from repro.graph.datasets import disk_cache_stats
+
+        # ResultCache.stats is a method, NullCache.stats a property.
+        results = self.result_cache.stats
+        if callable(results):
+            results = results()
+        caches = self.harness.cache_stats()
+        layers = {
+            "harness-memo": caches["memo"],
+            "dataset-disk": disk_cache_stats(),
+            "result-cache": results,
+        }
+        if "store" in caches:
+            layers["program-store"] = caches["store"]
+        return layers
+
+    def _cache_series(self, field: str):
+        def read() -> dict[tuple, float]:
+            return {(layer,): float(stats[field])
+                    for layer, stats in sorted(self._cache_layers()
+                                               .items())}
+        return read
+
+    def render_metrics(self) -> str:
+        return render_prometheus(self.metrics)
 
     # -- request flow --------------------------------------------------
     def submit(self, request: ServeRequest):
@@ -102,15 +208,18 @@ class ServeState:
             "cycles": result.cycles,
             "num_operations": result.num_operations,
             "total_dram_bytes": result.total_dram_bytes,
+            # Which layer served the compile (memo/store/compiled).
+            # Read on this worker thread (thread-local), then shared
+            # with every coalesced waiter through the job result — the
+            # handler joins it into the request log.
+            "cache_tier": self.harness.last_compile_tier(),
         }
 
     def _runner(self, jobs: int):
-        """A SweepRunner over the daemon's warm harness and cache dir."""
-        from repro.sweep import NullCache, ResultCache, SweepRunner
+        """A SweepRunner over the daemon's warm harness and cache."""
+        from repro.sweep import SweepRunner
 
-        cache = (ResultCache(self.cache_dir) if self.cache_dir
-                 else NullCache())
-        return SweepRunner(jobs=jobs, cache=cache,
+        return SweepRunner(jobs=jobs, cache=self.result_cache,
                            harness=self.harness)
 
     def _exec_sweep(self, request) -> dict:
@@ -182,16 +291,17 @@ class _Handler(BaseHTTPRequestHandler):
     """Thin JSON-over-HTTP adapter; all policy lives in ServeState."""
 
     server_version = "repro-serve/1.0"
-    #: Quiet by default — the daemon's stdout is the operator surface.
-    verbose = False
 
     @property
     def state(self) -> ServeState:
         return self.server.state  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 (stdlib name)
-        if self.verbose:
-            super().log_message(format, *args)
+        # Stdlib access-log lines (one per request, connection noise)
+        # go through the structured logger at debug level instead of
+        # being written raw to stderr — `--log-level debug` shows them.
+        self.state.logger.debug("http", client=self.address_string(),
+                                message=format % args)
 
     def _respond(self, code: int, payload: dict,
                  headers: dict[str, str] | None = None) -> None:
@@ -207,61 +317,117 @@ class _Handler(BaseHTTPRequestHandler):
         except BrokenPipeError:
             pass  # client went away; nothing to salvage
 
+    def _respond_text(self, code: int, text: str,
+                      content_type: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except BrokenPipeError:
+            pass
+
     # -- GET -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
         if self.path == "/healthz":
             self._respond(200, {"status": "ok"})
         elif self.path == "/stats":
             self._respond(200, self.state.stats())
+        elif self.path == "/metrics":
+            self._respond_text(
+                200, self.state.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8")
         else:
             self._respond(404, {"error": f"unknown path {self.path!r}; "
-                                         f"GET serves /healthz, /stats"})
+                                         f"GET serves /healthz, "
+                                         f"/stats, /metrics"})
 
     # -- POST ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        state = self.state
+        request_id = f"req-{next(state.request_ids):06d}"
         endpoint = self.path.lstrip("/")
+        label = endpoint if endpoint in ENDPOINTS else "unknown"
+        started = time.monotonic()
+
+        def finish(code: int, payload: dict,
+                   headers: dict[str, str] | None = None,
+                   level: str = "info", **log_fields) -> None:
+            payload["request_id"] = request_id
+            self._respond(code, payload, headers)
+            elapsed_s = time.monotonic() - started
+            state.requests_total.inc(endpoint=label, status=str(code))
+            state.request_latency.observe(elapsed_s, endpoint=label)
+            state.logger.log(level, "request", request_id=request_id,
+                             endpoint=label, status=code,
+                             elapsed_ms=round(elapsed_s * 1e3, 3),
+                             **log_fields)
+
         if endpoint not in ENDPOINTS:
-            self._respond(404, {"error": f"unknown endpoint "
-                                         f"{self.path!r}; POST serves "
-                                         f"{', '.join(ENDPOINTS)}"})
+            finish(404, {"error": f"unknown endpoint {self.path!r}; "
+                                  f"POST serves {', '.join(ENDPOINTS)}"},
+                   level="warning", path=self.path)
             return
         try:
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b"{}"
             body = json.loads(raw.decode() or "{}")
         except (ValueError, UnicodeDecodeError):
-            self._respond(400, {"error": "request body is not valid "
-                                         "JSON"})
+            finish(400, {"error": "request body is not valid JSON"},
+                   level="warning", error="invalid-json")
             return
         try:
             request = parse_request(endpoint, body)
         except ProtocolError as exc:
-            self._respond(400, {"error": str(exc)})
+            finish(400, {"error": str(exc)}, level="warning",
+                   error=str(exc))
             return
-        started = time.monotonic()
         try:
-            job, coalesced = self.state.submit(request)
+            job, coalesced = state.submit(request)
         except QueueFull as exc:
-            self._respond(429, {"error": str(exc),
-                                "retry_after_s": exc.retry_after},
-                          headers={"Retry-After": str(exc.retry_after)})
+            finish(429, {"error": str(exc),
+                         "retry_after_s": exc.retry_after},
+                   headers={"Retry-After": str(exc.retry_after)},
+                   level="warning", key=str(request.key()),
+                   retry_after_s=exc.retry_after)
             return
         except QueueClosed:
-            self._respond(503, {"error": "daemon is draining; "
-                                         "not accepting new work"})
+            finish(503, {"error": "daemon is draining; "
+                                  "not accepting new work"},
+                   level="warning", key=str(request.key()))
             return
-        if not job.event.wait(self.state.request_timeout_s):
-            self._respond(500, {"error": "request timed out in the "
-                                         "work queue"})
+        if not job.event.wait(state.request_timeout_s):
+            finish(500, {"error": "request timed out in the work "
+                                  "queue"},
+                   level="error", key=str(request.key()),
+                   error="timeout", coalesced=coalesced)
+            return
+        queue_wait_ms = service_ms = None
+        if job.started_at is not None:
+            queue_wait_ms = round(
+                (job.started_at - job.submitted_at) * 1e3, 3)
+            state.queue_wait.observe(job.started_at - job.submitted_at)
+        if job.service_s is not None:
+            service_ms = round(job.service_s * 1e3, 3)
+        if job.error is not None:
+            finish(500, {"error": f"{type(job.error).__name__}: "
+                                  f"{job.error}"},
+                   level="error", key=str(request.key()),
+                   error=f"{type(job.error).__name__}: {job.error}",
+                   queue_wait_ms=queue_wait_ms, service_ms=service_ms,
+                   coalesced=coalesced)
             return
         elapsed_ms = (time.monotonic() - started) * 1e3
-        if job.error is not None:
-            self._respond(500, {"error": f"{type(job.error).__name__}: "
-                                         f"{job.error}"})
-            return
-        self._respond(200, {"result": job.result,
-                            "coalesced": coalesced,
-                            "elapsed_ms": round(elapsed_ms, 3)})
+        cache_tier = (job.result.get("cache_tier")
+                      if isinstance(job.result, dict) else None)
+        finish(200, {"result": job.result,
+                     "coalesced": coalesced,
+                     "elapsed_ms": round(elapsed_ms, 3)},
+               key=str(request.key()), coalesced=coalesced,
+               queue_wait_ms=queue_wait_ms, service_ms=service_ms,
+               cache_tier=cache_tier)
 
 
 class ServeServer(ThreadingHTTPServer):
@@ -293,6 +459,7 @@ def make_server(state: ServeState, host: str = "127.0.0.1",
 def serve(host: str = "127.0.0.1", port: int = 8177, seed: int = 0,
           workers: int = 2, depth: int = 32,
           cache_dir: str = ".sweep-cache",
+          log_level: str = "info",
           ready_line=print) -> int:
     """Run the daemon until SIGTERM/SIGINT; returns the exit code.
 
@@ -302,7 +469,7 @@ def serve(host: str = "127.0.0.1", port: int = 8177, seed: int = 0,
     smoke job wait for.
     """
     state = ServeState(seed=seed, workers=workers, depth=depth,
-                       cache_dir=cache_dir)
+                       cache_dir=cache_dir, log_level=log_level)
     httpd = make_server(state, host, port)
     bound_host, bound_port = httpd.server_address[:2]
     got = {"signum": None}

@@ -151,12 +151,15 @@ class CoalescedPlan:
     """Precompiled per-unit action chains plus all static accounting."""
 
     __slots__ = ("unit_actions", "num_tokens", "seq_bits",
-                 "unit_busy_cycles", "dram_traffic", "dram_busy_cycles")
+                 "unit_busy_cycles", "dram_traffic", "dram_busy_cycles",
+                 "dma_meta")
 
     def __init__(self, unit_actions: list[list[int]], num_tokens: int,
                  seq_bits: int, unit_busy_cycles: dict[str, int],
                  dram_traffic: dict[str, tuple[int, int, int, int]],
-                 dram_busy_cycles: int) -> None:
+                 dram_busy_cycles: int,
+                 dma_meta: list[list[tuple[bool, int]]] | None = None
+                 ) -> None:
         #: Flat packed action chains, indexed like ``UNITS``; each ends
         #: with an ``END`` sentinel.
         self.unit_actions = unit_actions
@@ -169,6 +172,13 @@ class CoalescedPlan:
         #: per unit: (read_bytes, write_bytes, read_tx, write_tx)
         self.dram_traffic = dram_traffic
         self.dram_busy_cycles = dram_busy_cycles
+        #: Per unit, in chain order: ``(is_read, num_bytes)`` of each
+        #: emitted DRAM burst. Pure static accounting consumed by the
+        #: telemetry probe (:mod:`repro.obs.hwtel`) to attribute bytes
+        #: and direction to the bursts it observes during replay —
+        #: never read on the unprobed hot path.
+        self.dma_meta = (dma_meta if dma_meta is not None
+                         else [[] for _ in unit_actions])
 
 
 def _occupancy(num_bytes: int, bytes_per_cycle: float) -> int:
@@ -200,10 +210,12 @@ def build_plan(queues: dict[str, list], dram: DramConfig) -> CoalescedPlan:
     unit_actions: list[list[int]] = []
     busy: dict[str, int] = {}
     traffic: dict[str, tuple[int, int, int, int]] = {}
+    dma_meta: list[list[tuple[bool, int]]] = []
     dram_busy = 0
     for unit in UNITS:
         ops = queues.get(unit, [])
         chain: list[int] = []
+        meta: list[tuple[bool, int]] = []
         unit_busy = 0
         reads = writes = read_tx = write_tx = 0
         for op in ops:
@@ -231,6 +243,7 @@ def build_plan(queues: dict[str, list], dram: DramConfig) -> CoalescedPlan:
                     chain.append(_pack(DRAM_REQ))
                     chain.append(_pack(TIMEOUT, occ))
                     chain.append(_pack(DRAM_REL, latency))
+                    meta.append((is_load, op.num_bytes))
             else:
                 cycles = op_cycles(op)
                 if cycles:
@@ -245,6 +258,7 @@ def build_plan(queues: dict[str, list], dram: DramConfig) -> CoalescedPlan:
                 chain.append(_pack(SIGNAL, token_id(token)))
         chain.append(_pack(END))
         unit_actions.append(chain)
+        dma_meta.append(meta)
         busy[unit] = unit_busy
         traffic[unit] = (reads, writes, read_tx, write_tx)
     timed_actions = sum(
@@ -253,16 +267,25 @@ def build_plan(queues: dict[str, list], dram: DramConfig) -> CoalescedPlan:
         or ((action & 15) == DRAM_REL and action >> 4))
     seq_bits = max(timed_actions, 1).bit_length() + 1
     return CoalescedPlan(unit_actions, len(token_ids), seq_bits,
-                         busy, traffic, dram_busy)
+                         busy, traffic, dram_busy, dma_meta)
 
 
-def run_plan(plan: CoalescedPlan) -> int:
+def run_plan(plan: CoalescedPlan, probe=None) -> int:
     """Replay the action chains; returns the end-to-end cycle count.
 
     Operationally mirrors ``Environment.run`` driving six
     ``unit_process`` generators (see the module docstring for the
     order-equivalence argument). Raises :class:`DeadlockSuspension`
     when the event structures drain with chains unfinished.
+
+    ``probe`` (an :class:`repro.obs.hwtel.HwProbe`) records the raw
+    hardware-telemetry event stream: compute-occupancy windows, DRAM
+    bursts (direction/bytes resolved through the plan's static
+    ``dma_meta``, consumed in per-unit chain order), and port-queue
+    depth at each request's arrival. Recording is append-only and
+    reads no scheduler state, so a probed replay is cycle-identical
+    to an unprobed one by construction; an unprobed replay pays one
+    predictable branch per action.
 
     The branch structure below is deliberately flat and local-heavy:
     this loop *is* the simulator, and on a million-edge program it
@@ -292,6 +315,16 @@ def run_plan(plan: CoalescedPlan) -> int:
     fast: deque[int] = deque(range(num_units))
     fast_append = fast.append
     fast_popleft = fast.popleft
+
+    rec = probe is not None
+    if rec:
+        probe_busy = probe.busy
+        probe_dram = probe.dram
+        probe_queue = probe.queue
+        dma_meta = plan.dma_meta
+        #: Next unconsumed ``dma_meta`` entry per unit; bursts execute
+        #: in chain order within a unit, so a running index suffices.
+        meta_idx = [0] * num_units
 
     # None = never referenced, True = signalled, list = FIFO waiters.
     tokens: list[object] = [None] * plan.num_tokens
@@ -331,6 +364,21 @@ def run_plan(plan: CoalescedPlan) -> int:
             if kind == TIMEOUT:
                 pc += 1
                 wake = now + arg
+                if rec:
+                    # A timeout followed by DRAM_REL is a burst
+                    # occupancy (DMA lowers to REQ/TIMEOUT/REL and
+                    # nothing else emits that pair); anything else is
+                    # compute occupancy.
+                    if (chain[pc] & 15) == DRAM_REL:
+                        index = meta_idx[unit]
+                        meta_idx[unit] = index + 1
+                        is_read, num_bytes = dma_meta[unit][index]
+                        probe_dram.append(
+                            (UNITS[unit],
+                             "read" if is_read else "write",
+                             now, arg, num_bytes))
+                    else:
+                        probe_busy.append((UNITS[unit], now, wake))
                 # Inline time advance: if nothing is ready and every
                 # pending timer matures strictly later, the entry we
                 # would push is the next one popped — skip the heap and
@@ -344,6 +392,12 @@ def run_plan(plan: CoalescedPlan) -> int:
                     next_wake = wake
                 break
             if kind == DRAM_REQ:
+                if rec:
+                    # Queue depth at arrival: holders + waiters, the
+                    # event kernel's in_use + queue_length.
+                    probe_queue.append(
+                        (now, (0 if dram_free else 1)
+                         + len(dram_waiters)))
                 if dram_free:
                     if not fast and next_wake > now:
                         # The grant round trip is elidable; try the
@@ -352,6 +406,14 @@ def run_plan(plan: CoalescedPlan) -> int:
                         # ends when every pending timer matures after
                         # it, so holding the port is unobservable).
                         wake = now + (chain[pc + 1] >> 4)
+                        if rec:
+                            index = meta_idx[unit]
+                            meta_idx[unit] = index + 1
+                            is_read, num_bytes = dma_meta[unit][index]
+                            probe_dram.append(
+                                (UNITS[unit],
+                                 "read" if is_read else "write",
+                                 now, chain[pc + 1] >> 4, num_bytes))
                         if next_wake > wake:
                             latency = chain[pc + 2] >> 4
                             pc += 3

@@ -51,12 +51,18 @@ class DramChannel:
     suspends the caller for the queueing + service time of the burst.
     """
 
-    def __init__(self, env: Environment, config: DramConfig) -> None:
+    def __init__(self, env: Environment, config: DramConfig,
+                 probe=None) -> None:
         self.env = env
         self.config = config
         self._port = Resource(env, capacity=1)
         self.counters: dict[str, TrafficCounter] = {}
         self.busy_cycles = 0
+        #: Optional :class:`repro.obs.hwtel.HwProbe`: records queue
+        #: depth at each request's arrival and the burst (grant cycle,
+        #: occupancy, bytes) — appends only, never read here, so a
+        #: probed run is cycle-identical to an unprobed one.
+        self.probe = probe
 
     def counter(self, requester: str) -> TrafficCounter:
         if requester not in self.counters:
@@ -78,7 +84,15 @@ class DramChannel:
             return
         occupancy = max(
             int(round(num_bytes / self.config.bytes_per_cycle)), 1)
+        probe = self.probe
+        if probe is not None:
+            probe.queue.append(
+                (self.env.now,
+                 self._port.in_use + self._port.queue_length))
         yield self._port.request()
+        if probe is not None:
+            probe.dram.append((requester, direction, self.env.now,
+                               occupancy, num_bytes))
         self.busy_cycles += occupancy
         try:
             yield self.env.timeout(occupancy)

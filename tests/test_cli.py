@@ -267,3 +267,62 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "bound by" in out
         assert "hidden 1024" in out
+
+
+class TestTelemetryCommands:
+    def test_run_trace_out_writes_valid_perfetto(self, tmp_path, capsys):
+        from repro.obs import validate_trace_events
+
+        out = tmp_path / "run.json"
+        assert main(["run", "tiny", "gcn", "--trace-out",
+                     str(out)]) == 0
+        assert str(out) in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert validate_trace_events(payload) == []
+        # Host spans and simulated-hardware tracks both present.
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert pids == {1, 2}
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"load", "lower", "simulate"} <= names
+
+    def test_trace_perfetto_writes_labelled_slices(self, tmp_path,
+                                                   capsys):
+        from repro.obs import validate_trace_events
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "tiny", "gcn", "--perfetto",
+                     str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "#" in output  # the gantt still renders
+        payload = json.loads(out.read_text())
+        assert validate_trace_events(payload) == []
+        sim_labels = {e["name"] for e in payload["traceEvents"]
+                      if e["ph"] == "X" and e["pid"] == 2}
+        # The event kernel's per-op labels survive into the export.
+        assert "ShardAggregateOp" in sim_labels or any(
+            label.startswith("edges:") for label in sim_labels)
+
+    def test_profile_command_renders_report(self, capsys):
+        assert main(["profile", "tiny", "gat", "--top-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "profile tiny-gat" in out
+        assert "host phases" in out
+        assert "engines" in out
+        assert "hottest shards" in out
+        assert "queue peak" in out
+
+    def test_profile_arguments(self):
+        args = build_parser().parse_args(
+            ["profile", "cora", "gcn", "--hidden-dim", "8",
+             "--block", "32", "--top-k", "3", "--seed", "1"])
+        assert args.dataset == "cora" and args.network == "gcn"
+        assert args.hidden_dim == 8 and args.block == 32
+        assert args.top_k == 3 and args.seed == 1
+        assert callable(args.handler)
+
+    def test_serve_log_level_argument(self):
+        args = build_parser().parse_args(["serve", "--log-level",
+                                          "debug"])
+        assert args.log_level == "debug"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--log-level", "loud"])

@@ -1,0 +1,482 @@
+"""Tests for the telemetry spine (``repro.obs``): spans, the metric
+registry + Prometheus round-trip, hardware-probe derivation, Perfetto
+export, and — the load-bearing property — that enabling telemetry
+never moves a cycle count and that both kernels emit identical probe
+streams."""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.accelerator import GNNerator
+from repro.models.layers import init_parameters
+from repro.models.zoo import NETWORK_NAMES, build_network
+from repro.obs import (
+    HwProbe,
+    JsonLogger,
+    MetricRegistry,
+    NullTracer,
+    SpanTracer,
+    bin_windows,
+    build_trace,
+    parse_prometheus,
+    profile_workload,
+    render_profile,
+    render_prometheus,
+    series_sum,
+    set_tracer,
+    span,
+    summarize_probe,
+    tracing,
+    validate_trace_events,
+    write_perfetto,
+)
+from repro.obs.metrics import MetricError
+from repro.obs.spans import NULL_TRACER, get_tracer
+from tests.conftest import make_tiny_config
+from tests.test_differential import (
+    CYCLE_GOLDEN_PATH,
+    FEATURE_DIM,
+    GRAPH_CASES,
+    NUM_CLASSES,
+)
+
+
+# ---------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------
+class TestSpans:
+    def test_default_tracer_is_null_and_shared(self):
+        assert get_tracer() is NULL_TRACER
+        # The no-op span is one shared object, not per-call allocation.
+        assert span("anything") is span("other", attr=1)
+
+    def test_nesting_records_depth_and_parent(self):
+        tracer = SpanTracer()
+        with tracing(tracer):
+            with span("outer"):
+                with span("inner", layer=2):
+                    pass
+                with span("inner"):
+                    pass
+        by_name = {}
+        for record in tracer.spans:
+            by_name.setdefault(record.name, []).append(record)
+        (outer,) = by_name["outer"]
+        inners = by_name["inner"]
+        assert outer.depth == 0 and outer.parent == -1
+        assert all(r.depth == 1 and r.parent == outer.uid
+                   for r in inners)
+        assert inners[0].attrs == {"layer": 2}
+        # Children complete first but parent timing still encloses them.
+        assert outer.start_s <= inners[0].start_s
+        assert outer.end_s >= inners[-1].end_s
+
+    def test_tracing_restores_previous_tracer(self):
+        before = get_tracer()
+        with tracing():
+            assert isinstance(get_tracer(), SpanTracer)
+        assert get_tracer() is before
+
+    def test_tracing_restores_on_exception(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert get_tracer() is before
+
+    def test_threads_get_independent_stacks(self):
+        tracer = SpanTracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Concurrent roots on different threads: both depth 0.
+        assert sorted(r.name for r in tracer.spans) == ["t0", "t1"]
+        assert all(r.depth == 0 and r.parent == -1
+                   for r in tracer.spans)
+
+    def test_by_name_aggregates(self):
+        tracer = SpanTracer()
+        with tracing(tracer):
+            for _ in range(3):
+                with span("phase"):
+                    pass
+        agg = tracer.by_name()
+        assert agg["phase"]["count"] == 3
+        assert agg["phase"]["total_s"] >= 0.0
+        assert agg["phase"]["depth"] == 0
+
+    def test_null_tracer_span_is_reentrant(self):
+        tracer = NullTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass  # no state, no stack, nothing to corrupt
+
+    def test_set_tracer_roundtrip(self):
+        tracer = SpanTracer()
+        set_tracer(tracer)
+        try:
+            with span("x"):
+                pass
+            assert [r.name for r in tracer.spans] == ["x"]
+        finally:
+            set_tracer(NULL_TRACER)
+
+
+# ---------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_requires_prefix_and_suffix(self):
+        registry = MetricRegistry()
+        with pytest.raises(MetricError, match="repro_"):
+            registry.counter("requests_total", "no prefix")
+        with pytest.raises(MetricError, match="_total"):
+            registry.counter("repro_requests", "no suffix")
+
+    def test_counter_rejects_negative_and_bad_labels(self):
+        registry = MetricRegistry()
+        counter = registry.counter("repro_x_total", "x",
+                                   labels=("kind",))
+        counter.inc(kind="a")
+        with pytest.raises(MetricError):
+            counter.inc(-1, kind="a")
+        with pytest.raises(MetricError):
+            counter.inc(other="a")
+
+    def test_registration_is_idempotent_but_typed(self):
+        registry = MetricRegistry()
+        a = registry.counter("repro_x_total", "x")
+        assert registry.counter("repro_x_total", "x") is a
+        with pytest.raises(MetricError, match="already registered"):
+            registry.gauge("repro_x_total", "x")
+
+    def test_render_parse_roundtrip(self):
+        registry = MetricRegistry()
+        counter = registry.counter("repro_hits_total", "hits",
+                                   labels=("layer",))
+        counter.inc(3, layer="memo")
+        counter.inc(layer="store")
+        registry.gauge("repro_depth", "queue depth").set(7)
+        hist = registry.histogram("repro_lat_seconds", "latency",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        parsed = parse_prometheus(text)
+        assert parsed[("repro_hits_total", (("layer", "memo"),))] == 3
+        assert parsed[("repro_depth", ())] == 7
+        # Cumulative buckets: le="0.1" -> 1, le="1.0" -> 2, +Inf -> 3.
+        assert parsed[("repro_lat_seconds_bucket",
+                       (("le", "0.1"),))] == 1
+        assert parsed[("repro_lat_seconds_bucket",
+                       (("le", "1"),))] == 2
+        assert parsed[("repro_lat_seconds_bucket",
+                       (("le", "+Inf"),))] == 3
+        assert parsed[("repro_lat_seconds_count", ())] == 3
+        assert parsed[("repro_lat_seconds_sum", ())] == pytest.approx(
+            5.55)
+        assert series_sum(parsed, "repro_hits_total") == 4
+
+    def test_callback_instruments_read_at_scrape_time(self):
+        registry = MetricRegistry()
+        source = {"value": 1}
+        registry.counter("repro_src_total", "src",
+                         fn=lambda: source["value"])
+        registry.counter(
+            "repro_layered_total", "layered", labels=("layer",),
+            fn=lambda: {("a",): 1.0, ("b",): 2.0})
+        first = parse_prometheus(render_prometheus(registry))
+        source["value"] = 5
+        second = parse_prometheus(render_prometheus(registry))
+        assert first[("repro_src_total", ())] == 1
+        assert second[("repro_src_total", ())] == 5
+        assert series_sum(second, "repro_layered_total") == 3.0
+
+    @pytest.mark.parametrize("bad", [
+        "repro_x_total",              # sample line without a value
+        "repro_x_total{le=0.1} 1",    # unquoted label value
+        "repro_x_total{le=\"1\" 1",   # unterminated label set
+        "repro x 1 2 3 garbage",      # malformed name
+        "repro_x_total one",          # non-numeric value
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(MetricError):
+            parse_prometheus(bad)
+
+
+class TestJsonLogger:
+    def test_emits_one_sorted_json_line(self):
+        import io
+
+        buf = io.StringIO()
+        logger = JsonLogger(level="info", stream=buf)
+        logger.info("request", b=2, a=1)
+        (line,) = buf.getvalue().splitlines()
+        record = json.loads(line)
+        assert record["event"] == "request"
+        assert record["a"] == 1 and record["b"] == 2
+        assert record["level"] == "info"
+
+    def test_threshold_drops_lower_levels(self):
+        import io
+
+        buf = io.StringIO()
+        logger = JsonLogger(level="warning", stream=buf)
+        logger.debug("x")
+        logger.info("y")
+        logger.error("z")
+        assert len(buf.getvalue().splitlines()) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            JsonLogger(level="verbose")
+
+
+# ---------------------------------------------------------------------
+# Hardware-telemetry derivation
+# ---------------------------------------------------------------------
+def _simulated_probe(network="gcn", case="random-0", block=4):
+    graph = GRAPH_CASES[case]()
+    model = build_network(network, FEATURE_DIM, NUM_CLASSES,
+                          hidden_dim=8)
+    params = init_parameters(model, seed=7)
+    accelerator = GNNerator(make_tiny_config(block))
+    program = accelerator.compile(graph, model, params=params,
+                                  feature_block=block)
+    probe = HwProbe()
+    result = accelerator.simulate(program, probe=probe)
+    return accelerator, program, probe, result
+
+
+class TestHwtel:
+    def test_summary_matches_result_accounting(self):
+        _, _, probe, result = _simulated_probe()
+        summary = summarize_probe(probe, result.cycles)
+        # Compute busy windows reconstruct the kernels' busy counters.
+        expected_busy = {unit: cycles for unit, cycles
+                         in result.unit_busy_cycles.items() if cycles}
+        assert summary["unit_busy_cycles"] == expected_busy
+        # DRAM bytes reconstruct the per-unit traffic accounting.
+        total = (summary["dram_read_bytes"]
+                 + summary["dram_write_bytes"])
+        assert total == result.total_dram_bytes
+        assert summary["dram_busy_cycles"] == result.dram_busy_cycles
+        assert summary["queue_peak"] >= 1
+
+    def test_windows_conserve_events(self):
+        _, _, probe, result = _simulated_probe()
+        windows = bin_windows(probe, result.cycles, num_windows=7)
+        assert len(windows) == 7
+        assert windows[0]["start"] == 0
+        assert windows[-1]["end"] == result.cycles
+        summary = summarize_probe(probe, result.cycles)
+        window_busy: dict[str, float] = {}
+        for window in windows:
+            for unit, cycles in window["busy_cycles"].items():
+                window_busy[unit] = window_busy.get(unit, 0) + cycles
+        for unit, cycles in summary["unit_busy_cycles"].items():
+            assert window_busy[unit] == pytest.approx(cycles)
+        read = sum(w["dram_read_bytes"] for w in windows)
+        write = sum(w["dram_write_bytes"] for w in windows)
+        assert read == pytest.approx(summary["dram_read_bytes"])
+        assert write == pytest.approx(summary["dram_write_bytes"])
+        assert max(w["queue_peak"] for w in windows) == \
+            summary["queue_peak"]
+
+    def test_empty_probe_summarizes_to_zeroes(self):
+        probe = HwProbe()
+        summary = summarize_probe(probe, 100)
+        assert summary["unit_busy_cycles"] == {}
+        assert summary["dram_bytes_per_cycle"] == 0
+        assert summary["queue_peak"] == 0
+        assert bin_windows(probe, 100, num_windows=3)[0][
+            "dram_read_bytes"] == 0
+
+
+# ---------------------------------------------------------------------
+# Cycle neutrality + cross-kernel probe equivalence (the §4 obligation)
+# ---------------------------------------------------------------------
+#: A structurally diverse subset; the full grid runs in
+#: test_differential's goldens, this pins telemetry against it.
+PROBE_CASES = ("random-0", "hub", "duplicate-edges", "self-loops-only",
+               "edgeless")
+
+
+@pytest.mark.parametrize("network", NETWORK_NAMES)
+class TestTelemetryNeutrality:
+    def _program(self, network, case):
+        graph = GRAPH_CASES[case]()
+        model = build_network(network, FEATURE_DIM, NUM_CLASSES,
+                              hidden_dim=8)
+        params = init_parameters(model, seed=7)
+        accelerator = GNNerator(make_tiny_config(4))
+        return accelerator, accelerator.compile(
+            graph, model, params=params, feature_block=4)
+
+    def test_probe_never_changes_cycles(self, network):
+        goldens = json.loads(CYCLE_GOLDEN_PATH.read_text())
+        for case in PROBE_CASES:
+            accelerator, program = self._program(network, case)
+            bare = accelerator.simulate(program).cycles
+            probed = accelerator.simulate(program,
+                                          probe=HwProbe()).cycles
+            probed_event = accelerator.simulate(
+                program, coalesce=False, probe=HwProbe()).cycles
+            golden = goldens[network][case]["blocked"]
+            assert bare == probed == probed_event == golden, (
+                f"{network}/{case}: telemetry moved the cycle count")
+
+    def test_kernels_emit_identical_probe_streams(self, network):
+        for case in PROBE_CASES:
+            accelerator, program = self._program(network, case)
+            coalesced, event = HwProbe(), HwProbe()
+            accelerator.simulate(program, probe=coalesced)
+            accelerator.simulate(program, coalesce=False, probe=event)
+            assert sorted(coalesced.busy) == sorted(event.busy), (
+                f"{network}/{case}: busy streams differ")
+            assert sorted(coalesced.dram) == sorted(event.dram), (
+                f"{network}/{case}: dram streams differ")
+            assert sorted(coalesced.queue) == sorted(event.queue), (
+                f"{network}/{case}: queue streams differ")
+
+    def test_span_tracing_never_changes_cycles(self, network):
+        accelerator, program = self._program(network, "random-1")
+        bare = accelerator.simulate(program).cycles
+        with tracing() as tracer:
+            traced = accelerator.simulate(program).cycles
+        assert traced == bare
+        assert any(r.name == "simulate" for r in tracer.spans)
+
+
+# ---------------------------------------------------------------------
+# Perfetto export
+# ---------------------------------------------------------------------
+class TestPerfetto:
+    def _payload(self):
+        _, _, probe, result = _simulated_probe()
+        tracer = SpanTracer()
+        with tracing(tracer):
+            with span("load"):
+                with span("compile"):
+                    pass
+        return build_trace(spans=tracer, probe=probe,
+                           frequency_ghz=result.frequency_ghz,
+                           total_cycles=result.cycles)
+
+    def test_build_trace_is_valid(self):
+        payload = self._payload()
+        assert validate_trace_events(payload) == []
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"X", "M", "C"} <= phases
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert pids == {1, 2}
+
+    def test_slice_timestamps_monotonic_per_track(self):
+        payload = self._payload()
+        last: dict[tuple, float] = {}
+        for event in payload["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            track = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(track, 0.0)
+            last[track] = event["ts"]
+
+    def test_validator_catches_defects(self):
+        assert validate_trace_events({}) == ["traceEvents is not a list"]
+        bad = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1},
+            {"name": "n", "ph": "X", "pid": 1, "tid": 1, "ts": -1,
+             "dur": 1},
+            {"name": "n", "ph": "X", "pid": 1, "tid": 1, "ts": 5},
+            {"name": "n", "ph": "X", "pid": 1, "tid": 1, "ts": 2,
+             "dur": 1},
+            {"name": "n", "ph": "Z", "pid": 1, "tid": 1, "ts": 0},
+            {"name": "n", "ph": "C", "pid": 1, "tid": 1, "ts": 0},
+        ]}
+        problems = "\n".join(validate_trace_events(bad))
+        assert "missing 'name'" in problems
+        assert "bad ts" in problems
+        assert "bad dur" in problems
+        assert "goes backwards" in problems
+        assert "unknown phase" in problems
+        assert "counter without args" in problems
+
+    def test_write_perfetto_roundtrip(self, tmp_path):
+        _, _, probe, result = _simulated_probe()
+        out = write_perfetto(tmp_path / "trace.json", probe=probe,
+                             frequency_ghz=result.frequency_ghz,
+                             total_cycles=result.cycles)
+        payload = json.loads(Path(out).read_text())
+        assert validate_trace_events(payload) == []
+        assert payload["traceEvents"]
+
+    def test_write_perfetto_refuses_invalid(self, tmp_path,
+                                            monkeypatch):
+        import repro.obs.perfetto as perfetto
+
+        monkeypatch.setattr(
+            perfetto, "build_trace",
+            lambda **kwargs: {"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError, match="invalid trace"):
+            perfetto.write_perfetto(tmp_path / "bad.json")
+
+    def test_sim_ops_win_over_probe_busy(self):
+        probe = HwProbe()
+        probe.busy.append(("graph.compute", 0, 10))
+        payload = build_trace(
+            probe=probe,
+            sim_ops=[("graph.compute", "agg shard(0,0)", 0, 10)])
+        names = [e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"]
+        assert names == ["agg shard(0,0)"]
+
+
+# ---------------------------------------------------------------------
+# Profile
+# ---------------------------------------------------------------------
+class TestProfile:
+    def test_profile_workload_payload(self):
+        payload = profile_workload("tiny", "gcn", seed=7)
+        assert payload["workload"] == "tiny-gcn"
+        assert payload["cycles"] > 0
+        assert {"load", "compile", "simulate"} <= set(payload["phases"])
+        assert payload["compile_tier"] in ("memo", "store", "compiled")
+        assert payload["hottest_shards"]
+        top = payload["hottest_shards"]
+        assert top == sorted(top, key=lambda e: -e["cycles"])
+        assert payload["dram"]["total_cycles"] == payload["cycles"]
+        # Profiling must report the same cycle count as a bare run.
+        from repro.config.platforms import gnnerator_config
+        from repro.config.workload import WorkloadSpec
+        from repro.eval.harness import Harness
+
+        harness = Harness(seed=7, program_store=None)
+        spec = WorkloadSpec(dataset="tiny", network="gcn")
+        bare = GNNerator(gnnerator_config(
+            feature_block=spec.feature_block)).simulate(
+                harness.gnnerator_program(spec)).cycles
+        assert payload["cycles"] == bare
+
+    def test_render_profile_mentions_phases_and_shards(self):
+        payload = profile_workload("tiny", "gat", seed=7, top_k=2)
+        text = render_profile(payload)
+        assert "host phases" in text
+        assert "hottest shards" in text
+        assert "compile" in text
+        assert len(payload["hottest_shards"]) <= 2

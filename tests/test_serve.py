@@ -4,6 +4,7 @@ the SIGTERM drain path (subprocess)."""
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import signal
@@ -40,6 +41,9 @@ def daemon(tmp_path):
                        request_timeout_s=60.0)
     # Hermetic: no repo-level .program-cache reads/writes from tests.
     state.harness.program_store = None
+    # Capture structured logs instead of spraying pytest's stderr;
+    # tests read them back through state.logger._stream.
+    state.logger._stream = io.StringIO()
     httpd = make_server(state, "127.0.0.1", 0)
     thread = threading.Thread(target=httpd.serve_forever,
                               kwargs={"poll_interval": 0.02},
@@ -345,6 +349,193 @@ class TestHttpSurface:
 
 
 # ---------------------------------------------------------------------
+# Observability: /metrics, request ids, structured logs, cache tiers
+# ---------------------------------------------------------------------
+def _get_text(url: str, timeout: float = 10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode(), dict(resp.headers)
+
+
+def _log_lines(state) -> list[dict]:
+    return [json.loads(line)
+            for line in state.logger._stream.getvalue().splitlines()]
+
+
+class TestObservability:
+    def test_metrics_is_valid_prometheus_with_core_series(self, daemon):
+        from repro.obs.metrics import parse_prometheus, series_sum
+
+        state, base = daemon
+        assert _post(f"{base}/run", {"dataset": "tiny",
+                                     "network": "gcn"})[0] == 200
+        status, text, headers = _get_text(f"{base}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = parse_prometheus(text)  # raises on malformed text
+        # Queue instruments mirror /stats.
+        assert ("repro_queue_depth", ()) in parsed
+        assert ("repro_queue_coalesced_total", ()) in parsed
+        assert series_sum(parsed, "repro_queue_completed_total") >= 1
+        # One sample per cache layer, both directions.
+        for field in ("repro_cache_hits_total",
+                      "repro_cache_misses_total"):
+            layers = {dict(labels)["layer"]
+                      for (name, labels) in parsed if name == field}
+            assert layers == {"harness-memo", "dataset-disk",
+                              "result-cache"}
+        assert series_sum(parsed, "repro_full_lowerings_total") >= 1
+        # The latency histogram observed the POST above.
+        assert series_sum(parsed, "repro_request_latency_seconds_count",
+                          endpoint="run") >= 1
+        assert series_sum(parsed,
+                          "repro_request_queue_wait_seconds_count") >= 1
+        assert series_sum(parsed, "repro_requests_total",
+                          endpoint="run", status="200") >= 1
+        assert parsed[("repro_uptime_seconds", ())] >= 0
+
+    def test_program_store_layer_appears_when_enabled(self, tmp_path):
+        from repro.compiler.store import ProgramStore
+
+        state = ServeState(seed=0, workers=1, depth=4, cache_dir=None)
+        state.harness.program_store = ProgramStore(tmp_path / "ps")
+        state.logger._stream = io.StringIO()
+        try:
+            text = state.render_metrics()
+            assert 'layer="program-store"' in text
+        finally:
+            state.queue.stop(drain=False, timeout=5.0)
+
+    def test_every_response_carries_a_request_id(self, daemon):
+        state, base = daemon
+        _, ok_payload, _ = _post(f"{base}/run", {"dataset": "tiny",
+                                                 "network": "gcn"})
+        _, notfound, _ = _post(f"{base}/simulate", {})
+        _, bad, _ = _post(f"{base}/run", {"dataset": "nope",
+                                          "network": "gcn"})
+        ids = [p["request_id"] for p in (ok_payload, notfound, bad)]
+        assert all(rid.startswith("req-") for rid in ids)
+        assert len(set(ids)) == 3, "request ids must be unique"
+
+    def test_run_response_reports_cache_tier(self, daemon):
+        _, base = daemon
+        _, first, _ = _post(f"{base}/run", {"dataset": "tiny",
+                                            "network": "gcn"})
+        _, second, _ = _post(f"{base}/run", {"dataset": "tiny",
+                                             "network": "gcn"})
+        assert first["result"]["cache_tier"] == "compiled"
+        assert second["result"]["cache_tier"] == "memo"
+
+    def test_structured_logs_join_request_to_outcome(self, daemon):
+        state, base = daemon
+        status, payload, _ = _post(f"{base}/run", {"dataset": "tiny",
+                                                   "network": "gcn"})
+        assert status == 200
+        lines = _log_lines(state)
+        (entry,) = [line for line in lines
+                    if line.get("event") == "request"
+                    and line.get("request_id") == payload["request_id"]]
+        assert entry["endpoint"] == "run"
+        assert entry["status"] == 200
+        assert entry["cache_tier"] == "compiled"
+        assert entry["queue_wait_ms"] >= 0
+        assert entry["service_ms"] >= 0
+        assert entry["coalesced"] is False
+        assert entry["level"] == "info"
+
+    def test_executor_failure_logs_error_with_request_id(self, daemon):
+        state, base = daemon
+
+        def boom(request):
+            raise RuntimeError("executor exploded")
+
+        state.executors["run"] = boom
+        status, payload, _ = _post(f"{base}/run", {"dataset": "tiny",
+                                                   "network": "gcn"})
+        assert status == 500
+        assert payload["request_id"].startswith("req-")
+        (entry,) = [line for line in _log_lines(state)
+                    if line.get("request_id") == payload["request_id"]]
+        assert entry["level"] == "error"
+        assert "executor exploded" in entry["error"]
+
+    def test_429_carries_request_id_and_retry_after_log(self, tmp_path):
+        state = ServeState(seed=0, workers=1, depth=1, cache_dir=None)
+        state.harness.program_store = None
+        state.logger._stream = io.StringIO()
+        gate = threading.Event()
+        running = threading.Event()
+        real = state.executors["run"]
+
+        def gated(request):
+            running.set()
+            gate.wait(10.0)
+            return real(request)
+
+        state.executors["run"] = gated
+        httpd = make_server(state, "127.0.0.1", 0)
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.02},
+                                  daemon=True)
+        thread.start()
+        fired = []
+        try:
+            t1 = threading.Thread(target=lambda: fired.append(_post(
+                f"{base}/run", {"dataset": "tiny", "network": "gcn",
+                                "block": 64})))
+            t1.start()
+            assert running.wait(10.0)
+            t2 = threading.Thread(target=lambda: fired.append(_post(
+                f"{base}/run", {"dataset": "tiny", "network": "gcn",
+                                "block": 32})))
+            t2.start()
+            deadline = time.monotonic() + 10.0
+            while (state.queue.stats()["pending"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            status, payload, _ = _post(f"{base}/run",
+                                       {"dataset": "tiny",
+                                        "network": "gcn",
+                                        "block": 16})
+            assert status == 429
+            assert payload["request_id"].startswith("req-")
+            gate.set()
+            t1.join(30.0)
+            t2.join(30.0)
+            (entry,) = [line for line in _log_lines(state)
+                        if line.get("status") == 429]
+            assert entry["request_id"] == payload["request_id"]
+            assert entry["retry_after_s"] >= 1
+            assert entry["level"] == "warning"
+        finally:
+            gate.set()
+            state.queue.stop(drain=False, timeout=5.0)
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_log_level_threshold_filters_debug_http_lines(self, tmp_path):
+        state = ServeState(seed=0, workers=1, depth=4, cache_dir=None,
+                           log_level="debug")
+        state.harness.program_store = None
+        state.logger._stream = io.StringIO()
+        httpd = make_server(state, "127.0.0.1", 0)
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.02},
+                                  daemon=True)
+        thread.start()
+        try:
+            assert _get(f"{base}/healthz")[0] == 200
+            events = {line["event"] for line in _log_lines(state)}
+            # At debug the stdlib per-connection lines come through.
+            assert "http" in events
+        finally:
+            state.queue.stop(drain=False, timeout=5.0)
+            httpd.shutdown()
+            httpd.server_close()
+
+
+# ---------------------------------------------------------------------
 # Coalescing end to end (the acceptance criterion)
 # ---------------------------------------------------------------------
 class TestCoalescing:
@@ -481,9 +672,17 @@ class TestLoadtest:
         assert payload["latency_ms"]["p99"] >= payload["latency_ms"]["p50"]
         assert payload["stats_delta"]["full_lowerings"] == 0
         assert payload["stats_delta"]["completed"] >= 1
+        # The Prometheus scrape delta tells the same warm-burst story.
+        metrics = payload["metrics_delta"]
+        assert metrics["requests_ok"] == 12
+        assert metrics["full_lowerings"] == 0
+        assert metrics["latency_observations"] == 12
+        assert metrics["cache_hits"]["harness-memo"] >= 1
         out = tmp_path / "BENCH_serve.json"
         write_serve_benchmark(payload, out)
-        assert json.loads(out.read_text())["counts"]["ok"] == 12
+        written = json.loads(out.read_text())
+        assert written["counts"]["ok"] == 12
+        assert written["metrics_delta"]["requests_ok"] == 12
 
     def test_loadtest_unreachable_daemon_raises(self):
         from repro.serve.loadtest import LoadTestError, run_loadtest
