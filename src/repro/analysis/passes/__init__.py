@@ -1,0 +1,43 @@
+"""Verifier pass registry.
+
+Each pass is a pure function ``(program, config) -> PassResult`` that
+inspects the compiled program (and, where relevant, its coalesced plan
+for ``config.dram``) without simulating. The pipeline driver
+(:func:`repro.analysis.verify.verify_program`) runs them in registry
+order; to add a pass, implement the function in a module here and
+append a ``(name, fn)`` entry below (and document it in DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.passes.channels import check_channel_protocol
+from repro.analysis.passes.dma import check_dma_conservation
+from repro.analysis.passes.edges import check_edge_coverage
+from repro.analysis.passes.plan import check_plan_agreement
+from repro.analysis.passes.tokens import (
+    check_schedulability,
+    check_token_liveness,
+)
+from repro.analysis.report import PassResult
+from repro.compiler.program import Program
+from repro.config.accelerator import GNNeratorConfig
+
+PassFn = Callable[[Program, GNNeratorConfig], PassResult]
+
+#: The pipeline, in execution order. Cheap structural passes run
+#: first so a badly corrupted program fails with the most direct
+#: diagnosis before the heavier abstract-scheduling pass.
+PASSES: tuple[tuple[str, PassFn], ...] = (
+    ("edge-coverage", check_edge_coverage),
+    ("dma-conservation", check_dma_conservation),
+    ("channel-protocol", check_channel_protocol),
+    ("token-liveness", check_token_liveness),
+    ("schedulability", check_schedulability),
+    ("plan-agreement", check_plan_agreement),
+)
+
+PASS_NAMES = tuple(name for name, _ in PASSES)
+
+__all__ = ["PASSES", "PASS_NAMES", "PassFn"]

@@ -1,0 +1,95 @@
+"""DMA byte conservation.
+
+Three independent accountings of the program's DRAM traffic must
+agree: a fresh walk over the op queues (computed here), the program's
+memoized :meth:`~repro.compiler.program.Program.dram_bytes_by_purpose`
+breakdown, and the coalesced plan's prewarmed static accounting
+(per-unit byte/transaction counters, channel busy cycles, and the
+``dma_meta`` burst table the telemetry probe consumes). A cached plan
+or memo that drifted from the queues — a corrupted store entry, a
+mutation after compile — fails here before it can mis-report traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, cast
+
+from repro.analysis.report import PassResult
+from repro.compiler.ir import UNITS, AccumWritebackOp, DmaOp
+from repro.compiler.program import Program
+from repro.config.accelerator import GNNeratorConfig
+
+if TYPE_CHECKING:
+    from repro.sim.coalesce import CoalescedPlan
+
+
+def check_dma_conservation(program: Program,
+                           config: GNNeratorConfig) -> PassResult:
+    from repro.sim.coalesce import _occupancy
+
+    result = PassResult("dma-conservation")
+    plan = cast("CoalescedPlan", program.coalesced_plan(config.dram))
+
+    by_purpose: dict[str, int] = defaultdict(int)
+    dma_ops = 0
+    for op in program.order:
+        if isinstance(op, DmaOp):
+            by_purpose[op.purpose] += op.num_bytes
+            dma_ops += 1
+        elif isinstance(op, AccumWritebackOp):
+            tag = "agg-partial" if op.partial else "agg-writeback"
+            by_purpose[tag] += op.num_bytes
+            dma_ops += 1
+
+    memo = program.dram_bytes_by_purpose()
+    if dict(by_purpose) != memo:
+        result.fail(f"dram_bytes_by_purpose memo {memo} disagrees with "
+                    f"a fresh per-op sum {dict(by_purpose)}")
+    total = sum(by_purpose.values())
+    if total != program.total_dram_bytes:
+        result.fail(f"purpose sums total {total} B but "
+                    f"total_dram_bytes says {program.total_dram_bytes} B")
+
+    bpc = config.dram.bytes_per_cycle
+    busy = 0
+    for unit_index, unit in enumerate(UNITS):
+        ops = program.queues.get(unit, [])
+        reads = writes = read_tx = write_tx = 0
+        meta: list[tuple[bool, int]] = []
+        for op in ops:
+            if isinstance(op, DmaOp) and op.direction == "load":
+                reads += op.num_bytes
+                read_tx += 1
+                is_load = True
+            elif isinstance(op, (DmaOp, AccumWritebackOp)):
+                writes += op.num_bytes
+                write_tx += 1
+                is_load = False
+            else:
+                continue
+            if op.num_bytes:
+                busy += _occupancy(op.num_bytes, bpc)
+                meta.append((is_load, op.num_bytes))
+        got = plan.dram_traffic.get(unit)
+        want = (reads, writes, read_tx, write_tx)
+        if got != want:
+            result.fail(f"{unit}: plan DRAM counters {got} != program "
+                        f"queue sums {want} "
+                        f"(read_bytes, write_bytes, read_tx, write_tx)")
+        if plan.dma_meta[unit_index] != meta:
+            result.fail(f"{unit}: plan dma_meta disagrees with the "
+                        f"queue's burst sequence "
+                        f"({len(plan.dma_meta[unit_index])} vs "
+                        f"{len(meta)} bursts)")
+    if busy != plan.dram_busy_cycles:
+        result.fail(f"plan dram_busy_cycles {plan.dram_busy_cycles} != "
+                    f"recomputed burst occupancy sum {busy}")
+
+    result.counts = {
+        "memory_ops": dma_ops,
+        "total_bytes": total,
+        "purposes": len(by_purpose),
+        "dram_busy_cycles": busy,
+    }
+    return result

@@ -1,0 +1,96 @@
+"""Edge-coverage conservation.
+
+Every aggregate stage lowers each non-empty shard exactly once per
+feature block — one :class:`~repro.compiler.ir.ShardAggregateOp` per
+``(shard, block)`` pair, whose ``num_edges`` matches the shard. The
+pass proves the lowering dropped no edges and aggregated none twice:
+summed over a stage, the ops cover ``num_blocks x grid.num_edges``
+edge visits, and the grid itself partitions the graph's edge list
+(:meth:`~repro.graph.partition.ShardGrid.validate`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.report import PassResult
+from repro.compiler.ir import ShardAggregateOp
+from repro.compiler.program import Program
+from repro.config.accelerator import GNNeratorConfig
+from repro.graph.graph import GraphError
+
+
+def check_edge_coverage(program: Program,
+                        config: GNNeratorConfig) -> PassResult:
+    result = PassResult("edge-coverage")
+    ops_by_stage: dict[tuple[int, int], list[ShardAggregateOp]] = (
+        defaultdict(list))
+    for op in program.order:
+        if isinstance(op, ShardAggregateOp):
+            ops_by_stage[(op.layer, op.stage)].append(op)
+
+    for key in ops_by_stage:
+        if key not in program.grids:
+            result.fail(f"ShardAggregateOp for stage {key} but the "
+                        f"program has no shard grid for it")
+
+    covered_edges = 0
+    for key, grid in sorted(program.grids.items()):
+        layer, stage = key
+        try:
+            grid.validate()
+        except GraphError as exc:
+            result.fail(f"stage {key}: shard grid invalid: {exc}")
+            continue
+        plan = program.plans.get((layer, stage, "main"))
+        if plan is None:
+            result.fail(f"stage {key}: no block plan")
+            continue
+        block_dims = {}
+        for block in range(plan.num_blocks):
+            sl = plan.block_slice(block)
+            block_dims[(sl.start, sl.stop)] = block
+        shard_edges = {(shard.row, shard.col): shard.num_edges
+                       for shard in grid.iter_shards()}
+        seen: dict[tuple[tuple[int, int], tuple[int, int]], int] = (
+            defaultdict(int))
+        for op in ops_by_stage.get(key, ()):
+            where = f"stage {key} op {op.label or op.shard!r}"
+            expected = shard_edges.get(op.shard)
+            if expected is None:
+                result.fail(f"{where}: aggregates empty/unknown shard "
+                            f"{op.shard}")
+                continue
+            if op.num_edges != expected:
+                result.fail(
+                    f"{where}: shard {op.shard} carries "
+                    f"{op.num_edges} edges, grid says {expected}")
+            if op.dims not in block_dims:
+                result.fail(f"{where}: dims {op.dims} match no feature "
+                            f"block of the stage plan")
+                continue
+            seen[(op.shard, op.dims)] += 1
+            covered_edges += op.num_edges
+        for (shard_key, dims), count in sorted(seen.items()):
+            if count != 1:
+                result.fail(f"stage {key}: shard {shard_key} block "
+                            f"{dims} aggregated {count} times "
+                            f"(must be exactly once)")
+        expected_pairs = len(shard_edges) * plan.num_blocks
+        if len(seen) != expected_pairs:
+            missing = expected_pairs - len(seen)
+            result.fail(f"stage {key}: {missing} (shard, block) "
+                        f"pair(s) never aggregated")
+        stage_total = sum(op.num_edges for op in ops_by_stage.get(key, ()))
+        want_total = plan.num_blocks * grid.num_edges
+        if stage_total != want_total:
+            result.fail(f"stage {key}: ops cover {stage_total} edge "
+                        f"visits, expected {plan.num_blocks} blocks x "
+                        f"{grid.num_edges} edges = {want_total}")
+
+    result.counts = {
+        "aggregate_stages": len(program.grids),
+        "aggregate_ops": sum(len(ops) for ops in ops_by_stage.values()),
+        "covered_edge_visits": covered_edges,
+    }
+    return result

@@ -1,0 +1,86 @@
+"""Result containers for the verifier pass pipeline.
+
+A :class:`VerifyReport` is the machine-readable unit ``repro verify
+--json`` emits and the serve daemon / distributed workers can gate on:
+one :class:`PassResult` per pass, each carrying its failure messages
+(empty = pass) plus the counts it established while checking — the
+counts double as evidence that a green pass actually inspected
+something (an "ok" edge-coverage pass over zero aggregate ops would be
+vacuous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PassResult:
+    """Outcome of one verifier pass over one program."""
+
+    name: str
+    failures: list[str] = field(default_factory=list)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.ok else "fail"
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "failures": list(self.failures),
+            "counts": dict(self.counts),
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Aggregate outcome of the verifier pipeline for one program."""
+
+    workload: str
+    passes: list[PassResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.passes)
+
+    @property
+    def failures(self) -> list[str]:
+        return [f"{result.name}: {message}"
+                for result in self.passes for message in result.failures]
+
+    def result(self, name: str) -> PassResult:
+        for candidate in self.passes:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no pass named {name!r} in this report")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "workload": self.workload,
+            "status": "ok" if self.ok else "fail",
+            "passes": [result.to_dict() for result in self.passes],
+        }
+
+    def describe(self) -> str:
+        """Human-readable per-pass summary (the default CLI output)."""
+        width = max((len(result.name) for result in self.passes),
+                    default=0)
+        lines = [f"{self.workload}: "
+                 f"{'ok' if self.ok else 'FAILED'}"]
+        for result in self.passes:
+            counts = ", ".join(f"{key}={value}"
+                               for key, value in result.counts.items())
+            lines.append(f"  {result.name:<{width}}  {result.status:<4}"
+                         f"  {counts}")
+            lines.extend(f"    {message}" for message in result.failures)
+        return "\n".join(lines)

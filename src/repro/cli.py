@@ -531,6 +531,76 @@ def _cmd_bottleneck(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_verify(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.analysis.verify import verify_program
+    from repro.config.platforms import gnnerator_config
+    from repro.eval.harness import Harness
+
+    if args.dataset and args.datasets:
+        raise SystemExit("verify: pass either positional "
+                         "dataset/network or --datasets/--networks, "
+                         "not both")
+    if args.dataset:
+        datasets: tuple[str, ...] = (args.dataset,)
+        networks: tuple[str, ...] = (args.network or "gcn",)
+    else:
+        datasets = args.datasets or ("tiny",)
+        networks = args.networks or NETWORK_NAMES
+
+    harness = Harness(seed=args.seed)
+    reports = []
+    for dataset in datasets:
+        for network in networks:
+            spec = WorkloadSpec(dataset=dataset, network=network,
+                                hidden_dim=args.hidden_dim)
+            program = harness.gnnerator_program(spec)
+            config = gnnerator_config(
+                feature_block=spec.feature_block)
+            reports.append(verify_program(program, config,
+                                          workload=spec.label))
+    ok = all(report.ok for report in reports)
+    args.exit_code = 0 if ok else 1
+    if args.json:
+        return _json.dumps(
+            {"status": "ok" if ok else "fail",
+             "workloads": [report.to_dict() for report in reports]},
+            indent=2)
+    lines = [report.describe() for report in reports]
+    lines.append(f"{len(reports)} workload(s) verified: "
+                 f"{'all ok' if ok else 'FAILURES ABOVE'}")
+    return "\n".join(lines)
+
+
+def _cmd_lint(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.analysis.lint import RULE_NAMES, lint_paths, lint_repo
+
+    if args.paths:
+        import repro as _repro
+
+        root = Path(_repro.__file__).resolve().parent
+        findings = lint_paths((Path(p).resolve() for p in args.paths),
+                              root)
+    else:
+        findings = lint_repo()
+    args.exit_code = 0 if not findings else 1
+    if args.json:
+        return _json.dumps(
+            {"status": "ok" if not findings else "fail",
+             "rules": list(RULE_NAMES),
+             "findings": [finding.to_dict() for finding in findings]},
+            indent=2)
+    if not findings:
+        return (f"lint: clean ({len(RULE_NAMES)} rules: "
+                f"{', '.join(RULE_NAMES)})")
+    lines = [str(finding) for finding in findings]
+    lines.append(f"lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gnnerator",
@@ -765,6 +835,42 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the JSON payload here (e.g. "
                                "BENCH_serve.json)")
     loadtest.set_defaults(handler=_cmd_loadtest)
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify compiled programs (edge coverage, DMA "
+             "conservation, channel protocol, token liveness, "
+             "schedulability, plan agreement) without simulating")
+    verify.add_argument("dataset", nargs="?", choices=DATASET_NAMES,
+                        help="verify one dataset (default: tiny across "
+                             "all networks)")
+    verify.add_argument("network", nargs="?", choices=NETWORK_NAMES,
+                        help="network for the positional dataset "
+                             "(default gcn)")
+    verify.add_argument("--datasets",
+                        type=_name_list("dataset", DATASET_NAMES),
+                        default=None, metavar="A,B",
+                        help="comma-separated datasets to verify")
+    verify.add_argument("--networks",
+                        type=_name_list("network", NETWORK_NAMES),
+                        default=None, metavar="A,B",
+                        help="comma-separated networks (default: all)")
+    verify.add_argument("--hidden-dim", type=_positive_int, default=16)
+    verify.add_argument("--seed", type=int, default=0,
+                        help="parameter-initialisation seed (default 0)")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    verify.set_defaults(handler=_cmd_verify)
+    lint = sub.add_parser(
+        "lint",
+        help="run the codebase contract linter (determinism, probe "
+             "purity, atomic cache writes, lock discipline, metric "
+             "naming, import layering)")
+    lint.add_argument("paths", nargs="*",
+                      help="files to lint (default: the whole repro "
+                           "package)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

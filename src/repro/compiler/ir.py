@@ -250,7 +250,10 @@ MEMORY_OPS = (DmaOp, AccumWritebackOp)
 
 def op_cycles(op: Operation) -> int:
     """Compute-cycle cost of an op (0 for non-compute ops)."""
-    if isinstance(op, COMPUTE_OPS):
+    # Literal tuple (not COMPUTE_OPS) so mypy narrows to the classes
+    # that actually declare ``cycles``.
+    if isinstance(op, (InitAccumulatorOp, SelfApplyOp, ShardAggregateOp,
+                       GemmOp, ActivationOp)):
         return op.cycles
     return 0
 

@@ -94,11 +94,16 @@ from repro.engines.graph.gpe import (
     shard_compute_cycles,
 )
 from repro.graph.graph import Graph
-from repro.graph.partition import ShardGrid, plan_shards
+from repro.graph.partition import Shard, ShardGrid, plan_shards
 from repro.obs.spans import span
 from repro.models.layers import Parameters, dense_forward, init_parameters
 from repro.models.reference import apply_aggregate
-from repro.models.stages import AggregateStage, ExtractStage, GNNModel
+from repro.models.stages import (
+    AggregateStage,
+    ExtractStage,
+    GNNLayer,
+    GNNModel,
+)
 
 
 #: Process-wide count of full :meth:`Lowering.compile` executions.
@@ -211,8 +216,10 @@ class Lowering:
         # A complete set of previously baked attention coefficients for
         # this (graph, params, model) makes the shadow unnecessary: the
         # coefficients are its only output the compiler consumes.
-        self._baked_attention: dict | None = None
-        self._fresh_attention: dict = {}
+        self._baked_attention: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray | None]] | None = None
+        self._fresh_attention: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray | None]] = {}
         if self._needs_shadow:
             with _MEMO_LOCK:
                 per_params = _ATTENTION_WEIGHTS_MEMO.get(graph)
@@ -341,7 +348,7 @@ class Lowering:
         if len(pending) < 2:
             return
 
-        def warm(shard):
+        def warm(shard: Shard) -> None:
             max_gpe_edges(shard, num_gpes)
             if sparsity:
                 shard.distinct_sources()
@@ -592,7 +599,7 @@ class Lowering:
     # ------------------------------------------------------------------
     def _lower_extract(self, layer: int, stage_index: int,
                        stage: ExtractStage, incoming: ValueRef,
-                       layer_input: ValueRef, layer_obj,
+                       layer_input: ValueRef, layer_obj: GNNLayer,
                        completions: dict[int, list[tuple[int, int]]]
                        ) -> ValueRef:
         program = self.program
@@ -765,7 +772,9 @@ class Lowering:
     def _finish_interval(self, layer: int, stage_index: int,
                          stage: ExtractStage, out_array: str,
                          rows: tuple[int, int], n: int,
-                         cover_entries: list) -> Operation:
+                         cover_entries: list[
+                             tuple[tuple[int, int], tuple[int, int], str]],
+                         ) -> Operation:
         """Activation op; also emits the final store to feature memory."""
         program = self.program
         m = rows[1] - rows[0]
@@ -833,4 +842,14 @@ def compile_workload(graph: Graph, model: GNNModel,
     # fresh plan lazily.
     program.coalesced_plan(config.dram)
     program.dram_bytes_by_purpose()
+    # Opt-in compile-time verification (REPRO_VERIFY=1; the test suite
+    # always sets it): run the repro.analysis pass pipeline over the
+    # fresh program and fail the compile on any contract violation.
+    # Imported lazily — analysis sits above the compiler in the layer
+    # DAG, so the compiler must not import it at module level.
+    from repro.analysis.verify import verify_enabled, verify_program
+
+    if verify_enabled():
+        verify_program(program, config, workload="compile_workload",
+                       raise_on_failure=True)
     return program

@@ -21,18 +21,23 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.compiler.ir import (
-    MEMORY_OPS,
     UNITS,
+    AccumWritebackOp,
     CompileError,
     DmaOp,
     Operation,
     op_bytes,
     op_cycles,
 )
+
+if TYPE_CHECKING:
+    from repro.config.accelerator import DramConfig
+    from repro.sim.coalesce import CoalescedPlan
 from repro.dataflow.blocking import BlockPlan
 from repro.graph.partition import ShardGrid
 from repro.models.layers import Parameters
@@ -79,11 +84,11 @@ class Program:
     #: :meth:`coalesced_plan` (and eagerly by ``compile_workload`` for
     #: the compiling config, so a compile→simulate run pays the chain
     #: precomputation in compile time, once). Never part of equality.
-    _coalesced_plans: dict = field(default_factory=dict, repr=False,
-                                   compare=False)
+    _coalesced_plans: dict[DramConfig, CoalescedPlan] = field(
+        default_factory=dict, repr=False, compare=False)
     #: Memoized dram_bytes_by_purpose breakdown (static once compiled).
-    _dram_by_purpose: dict | None = field(default=None, repr=False,
-                                          compare=False)
+    _dram_by_purpose: dict[str, int] | None = field(default=None, repr=False,
+                                                    compare=False)
 
     # ------------------------------------------------------------------
     # Construction helpers (used by the lowering pass)
@@ -105,7 +110,7 @@ class Program:
         self.arrays[name] = dim
         return name
 
-    def coalesced_plan(self, dram) -> "object":
+    def coalesced_plan(self, dram: DramConfig) -> CoalescedPlan:
         """The precompiled action chains for the coalesced simulator.
 
         Cached per :class:`~repro.config.accelerator.DramConfig`
@@ -140,7 +145,7 @@ class Program:
             for op in self.order:
                 if isinstance(op, DmaOp):
                     totals[op.purpose] += op.num_bytes
-                elif isinstance(op, MEMORY_OPS):
+                elif isinstance(op, AccumWritebackOp):
                     tag = "agg-partial" if op.partial else "agg-writeback"
                     totals[tag] += op.num_bytes
             self._dram_by_purpose = dict(totals)
@@ -159,7 +164,7 @@ class Program:
                 totals[unit] += op_cycles(op)
         return dict(totals)
 
-    def count_ops(self, op_type: type) -> int:
+    def count_ops(self, op_type: type[Operation]) -> int:
         return sum(1 for op in self.order if isinstance(op, op_type))
 
     def describe(self) -> str:

@@ -42,7 +42,7 @@ class FunctionalState:
         self.arrays[program.input_array][:] = graph.features
         #: Per-(layer, stage, shard) edge-weight gathers, shared by every
         #: feature block that revisits the same shard.
-        self._shard_weights: dict[tuple, np.ndarray] = {}
+        self._shard_weights: dict[tuple[int, ...], np.ndarray] = {}
 
     def view(self, name: str, rows: tuple[int, int],
              dims: tuple[int, int]) -> np.ndarray:

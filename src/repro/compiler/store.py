@@ -50,7 +50,12 @@ import pickle
 import itertools
 from pathlib import Path
 
+from typing import IO, TYPE_CHECKING
+
 from repro.graph.graph import Graph
+
+if TYPE_CHECKING:
+    from repro.compiler.program import Program
 
 #: Bump when the pickled layout (or anything about how entries are
 #: produced) changes incompatibly; old entries become misses.
@@ -81,7 +86,8 @@ def program_key_payload(*, dataset_fingerprint: str, network: str,
                         hidden_dim: int, traversal: str,
                         feature_block: int | None,
                         params_seed: int,
-                        config_projection: tuple) -> dict:
+                        config_projection: tuple[tuple[str, object], ...],
+                        ) -> dict[str, object]:
     """The canonical JSON-able key payload for one compiled program.
 
     Everything compilation depends on, and nothing it does not:
@@ -112,11 +118,11 @@ def program_key_payload(*, dataset_fingerprint: str, network: str,
 class _GraphPickler(pickle.Pickler):
     """Persists ``Graph`` references as dataset ids instead of bytes."""
 
-    def __init__(self, handle, graph: Graph) -> None:
+    def __init__(self, handle: IO[bytes], graph: Graph) -> None:
         super().__init__(handle, protocol=5)
         self._graph = graph
 
-    def persistent_id(self, obj):
+    def persistent_id(self, obj: object) -> tuple[str, str] | None:
         if obj is self._graph:
             return ("repro-graph", self._graph.name)
         if isinstance(obj, Graph):
@@ -131,13 +137,14 @@ class _GraphPickler(pickle.Pickler):
 class _GraphUnpickler(pickle.Unpickler):
     """Resolves persisted dataset ids back to the caller's graph."""
 
-    def __init__(self, handle, graph: Graph) -> None:
+    def __init__(self, handle: IO[bytes], graph: Graph) -> None:
         super().__init__(handle)
         self._graph = graph
 
-    def persistent_load(self, pid):
-        kind, name = pid
-        if kind != "repro-graph" or name != self._graph.name:
+    def persistent_load(self, pid: object) -> Graph:
+        if (not isinstance(pid, tuple) or len(pid) != 2
+                or pid[0] != "repro-graph"
+                or pid[1] != self._graph.name):
             raise pickle.UnpicklingError(
                 f"unexpected persistent id {pid!r} for graph "
                 f"{self._graph.name!r}")
@@ -164,7 +171,7 @@ class ProgramStore:
         self.hits = 0
         self.misses = 0
 
-    def key(self, payload: dict) -> str:
+    def key(self, payload: dict[str, object]) -> str:
         """Content address of one program under this code version."""
         blob = json.dumps(
             {"schema": PROGRAM_SCHEMA, "code": self.code_version,
@@ -175,7 +182,7 @@ class ProgramStore:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str, graph: Graph):
+    def get(self, key: str, graph: Graph) -> "Program | None":
         """The stored program for ``key`` rebuilt against ``graph``,
         or None.
 
@@ -206,7 +213,7 @@ class ProgramStore:
         return program
 
     @staticmethod
-    def _seed_grid_cache(program, graph: Graph) -> None:
+    def _seed_grid_cache(program: "Program", graph: Graph) -> None:
         """Register loaded grids under the graph's plan_shards memo."""
         cache = getattr(graph, "_shard_grid_cache", None)
         if cache is None:
@@ -214,7 +221,7 @@ class ProgramStore:
         for grid in program.grids.values():
             cache.setdefault(("interval", grid.interval_size), grid)
 
-    def put(self, key: str, program, graph: Graph) -> bool:
+    def put(self, key: str, program: "Program", graph: Graph) -> bool:
         """Atomically persist ``program`` under ``key`` (best-effort).
 
         Returns False (leaving no partial file behind) when the entry

@@ -42,15 +42,23 @@ class ValidationReport:
     retired_ops: int = 0
     signalled_tokens: set[str] = field(default_factory=set)
     max_channel_depth: dict[str, int] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return True  # construction implies success; failures raise
+        return not self.failures
 
 
-def validate_program(program: Program) -> ValidationReport:
-    """Abstractly schedule the program; raises ValidationError on
-    deadlock or on tokens waited on but never signalled."""
+def validate_program(program: Program, *,
+                     raise_on_failure: bool = True) -> ValidationReport:
+    """Abstractly schedule the program.
+
+    With ``raise_on_failure`` (the default) a deadlock or a token waited
+    on but never signalled raises :class:`ValidationError`; otherwise
+    the problems are collected on ``report.failures`` and the report is
+    returned with ``ok`` false.
+    """
+    report = ValidationReport()
     signalled: set[str] = set()
     all_signals: set[str] = set()
     for op in program.order:
@@ -58,14 +66,19 @@ def validate_program(program: Program) -> ValidationReport:
     for op in program.order:
         for token in op.wait:
             if token not in all_signals:
-                raise ValidationError(
+                report.failures.append(
                     f"op {op.label or type(op).__name__!r} waits on "
                     f"{token!r}, which nothing signals")
+                if raise_on_failure:
+                    raise ValidationError(report.failures[-1])
+    if report.failures:
+        # Unsignalled waits guarantee the scheduler would stall on a
+        # misleading head; report the root cause instead.
+        return report
 
     heads = {unit: 0 for unit in program.queues}
     credits = {channel: CREDITS_PER_CHANNEL for channel in CHANNELS}
     pending = {channel: 0 for channel in CHANNELS}
-    report = ValidationReport()
     report.max_channel_depth = {channel: 0 for channel in CHANNELS}
 
     def runnable(op: Operation) -> bool:
@@ -105,7 +118,11 @@ def validate_program(program: Program) -> ValidationReport:
                 for unit, ops in program.queues.items()
                 if heads[unit] < len(ops)
             }
-            raise ValidationError(
+            report.failures.append(
                 f"program deadlocks; blocked unit heads: {stuck}")
+            if raise_on_failure:
+                raise ValidationError(report.failures[-1])
+            report.signalled_tokens = signalled
+            return report
     report.signalled_tokens = signalled
     return report

@@ -17,7 +17,7 @@ candidate and degenerate designs are rejected with a
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.config.accelerator import ConfigError, GNNeratorConfig
 
@@ -48,9 +48,9 @@ _GRID_FIELDS = ("src_feature_buffer_bytes", "dst_feature_buffer_bytes",
 FrozenOverrides = tuple[tuple[str, float], ...]
 
 
-def _numeric_fields(section_obj) -> dict[str, float]:
+def _numeric_fields(section_obj: Any) -> dict[str, float]:
     """Numeric (int/float, non-bool) fields of one config section."""
-    out = {}
+    out: dict[str, float] = {}
     for f in dataclasses.fields(section_obj):
         value = getattr(section_obj, f.name)
         if isinstance(value, (int, float)) and not isinstance(value, bool):
@@ -69,7 +69,7 @@ def knob_paths(base: GNNeratorConfig | None = None) -> tuple[str, ...]:
     return tuple(paths)
 
 
-def _coerce(path: str, current, value):
+def _coerce(path: str, current: object, value: object) -> float:
     """Type-check an override value against the field it replaces."""
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ConfigError(
@@ -117,7 +117,7 @@ def apply_overrides(base: GNNeratorConfig,
         else:
             raise ConfigError(
                 f"unknown knob {path!r}; top-level knobs: feature_block")
-    replacements: dict = dict(top)
+    replacements: dict[str, object] = dict(top)
     for section, fields in sections.items():
         replacements[section] = dataclasses.replace(
             getattr(base, section), **fields)

@@ -221,6 +221,21 @@ class Harness:
                         program = store.get(store_key, graph)
                         if program is not None:
                             tier = "store"
+                            # Freshly compiled programs were verified
+                            # (if REPRO_VERIFY is on) inside
+                            # compile_workload; a store hit skips that
+                            # path, so guard against corrupted or
+                            # stale cache entries here.
+                            from repro.analysis.verify import (
+                                verify_enabled,
+                                verify_program,
+                            )
+
+                            if verify_enabled():
+                                verify_program(
+                                    program, config,
+                                    workload=f"store:{spec.label}",
+                                    raise_on_failure=True)
                 if program is None:
                     accelerator = GNNerator(config)
                     program = accelerator.compile(

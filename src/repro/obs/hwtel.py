@@ -86,7 +86,7 @@ def bin_windows(probe: HwProbe, total_cycles: int,
         for w, overlap in overlapping(start, end):
             w["busy_cycles"][unit] = (w["busy_cycles"].get(unit, 0.0)
                                       + overlap)
-    for unit, direction, start, occupancy, num_bytes in probe.dram:
+    for _unit, direction, start, occupancy, num_bytes in probe.dram:
         end = start + occupancy
         key = ("dram_read_bytes" if direction == "read"
                else "dram_write_bytes")

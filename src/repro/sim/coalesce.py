@@ -104,12 +104,15 @@ from __future__ import annotations
 from collections import deque
 from heapq import heappop, heappush
 
+from typing import TYPE_CHECKING
+
 from repro.compiler.ir import (
     CHANNELS,
     UNITS,
     AccumWritebackOp,
     AcquireOp,
     DmaOp,
+    Operation,
     PopOp,
     PushOp,
     ReleaseOp,
@@ -118,6 +121,9 @@ from repro.compiler.ir import (
 from repro.config.accelerator import DramConfig
 from repro.engines.controller import DOUBLE_BUFFER_CREDITS
 from repro.sim.kernel import SimulationError
+
+if TYPE_CHECKING:
+    from repro.obs.hwtel import HwProbe
 
 # Action opcodes, numbered roughly by execution frequency (the
 # scheduler dispatches through an if-chain in this order). Each chain
@@ -186,7 +192,8 @@ def _occupancy(num_bytes: int, bytes_per_cycle: float) -> int:
     return max(int(round(num_bytes / bytes_per_cycle)), 1)
 
 
-def build_plan(queues: dict[str, list], dram: DramConfig) -> CoalescedPlan:
+def build_plan(queues: dict[str, list[Operation]],
+               dram: DramConfig) -> CoalescedPlan:
     """Lower per-unit operation queues into primitive action chains.
 
     Emits, for each operation, exactly the kernel interactions
@@ -270,7 +277,7 @@ def build_plan(queues: dict[str, list], dram: DramConfig) -> CoalescedPlan:
                          busy, traffic, dram_busy, dma_meta)
 
 
-def run_plan(plan: CoalescedPlan, probe=None) -> int:
+def run_plan(plan: CoalescedPlan, probe: HwProbe | None = None) -> int:
     """Replay the action chains; returns the end-to-end cycle count.
 
     Operationally mirrors ``Environment.run`` driving six

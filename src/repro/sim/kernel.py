@@ -185,7 +185,7 @@ class Environment:
         heapq.heappush(self._queue,
                        (self.now + delay, self._sequence, action, value))
 
-    def _schedule_resume(self, process, value: Any) -> None:
+    def _schedule_resume(self, process: Process, value: Any) -> None:
         self._push(0, ("resume", process), value)
 
     def _schedule_trigger(self, event: Event, delay: int,

@@ -14,10 +14,14 @@ working sets to fit — tests rely on this tripwire).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator
 
 from repro.config.accelerator import DramConfig
-from repro.sim.kernel import Environment, SimulationError
+from repro.sim.kernel import Environment, Event, SimulationError
 from repro.sim.queues import Resource
+
+if TYPE_CHECKING:
+    from repro.obs.hwtel import HwProbe
 
 
 @dataclass
@@ -52,7 +56,7 @@ class DramChannel:
     """
 
     def __init__(self, env: Environment, config: DramConfig,
-                 probe=None) -> None:
+                 probe: HwProbe | None = None) -> None:
         self.env = env
         self.config = config
         self._port = Resource(env, capacity=1)
@@ -69,7 +73,8 @@ class DramChannel:
             self.counters[requester] = TrafficCounter()
         return self.counters[requester]
 
-    def transfer(self, requester: str, direction: str, num_bytes: int):
+    def transfer(self, requester: str, direction: str,
+                 num_bytes: int) -> Generator[Event, Any, None]:
         """Generator: arbitrate, occupy the channel for the burst's
         bandwidth time, then pay the access latency off-channel.
 

@@ -39,6 +39,12 @@ settings.register_profile(
 )
 settings.load_profile("repro-ci" if os.environ.get("CI") else "repro-dev")
 
+# Every compile in the test suite runs the repro.analysis verifier
+# pipeline (edge coverage, DMA conservation, channel protocol, token
+# liveness, schedulability, plan agreement) — a mis-lowered program
+# fails at compile time with a named pass instead of as a cycle drift.
+os.environ.setdefault("REPRO_VERIFY", "1")
+
 
 @pytest.fixture(scope="session")
 def small_graph():

@@ -101,7 +101,7 @@ class TestDstBuffer:
         visits = {(col, 0): side for col in range(side)}
         state = DstBufferState(visits)
         spills = reloads = inits = finals = 0
-        for row, col in order_fn(side):
+        for _row, col in order_fn(side):
             action = state.access(col, 0)
             spills += action.spill_previous is not None
             reloads += action.reload

@@ -159,9 +159,8 @@ class TestLargeGraphDifferential:
     def _graph(self) -> Graph:
         from repro.graph.generators import powerlaw_graph
 
-        graph = powerlaw_graph(350, 2800, feature_dim=FEATURE_DIM,
-                               exponent=1.1, seed=13, name="powerlaw-s")
-        return graph
+        return powerlaw_graph(350, 2800, feature_dim=FEATURE_DIM,
+                              exponent=1.1, seed=13, name="powerlaw-s")
 
     def test_runtime_matches_reference(self, network):
         graph = self._graph()

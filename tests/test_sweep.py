@@ -73,7 +73,7 @@ class TestPlans:
         with pytest.raises(SweepPlanError):
             SweepPoint(dataset="cora", network="gcn", platform="gpu",
                        variant="more-graph-memory")
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError, match="hidden_dim"):
             SweepPoint(dataset="cora", network="gcn", hidden_dim=0)
 
     def test_baseline_platform_points_are_normalised(self):
