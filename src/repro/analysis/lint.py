@@ -37,6 +37,7 @@ _CACHE_FILES = (
     "compiler/store.py",
     "graph/datasets.py",
     "sweep/cache.py",
+    "sweep/dist/queue.py",
     "eval/hostperf.py",
     "serve/loadtest.py",
 )

@@ -194,11 +194,40 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _scheduler_for(args: argparse.Namespace):
+    """Build the miss-compute backend selected by ``--scheduler``.
+
+    ``pool`` returns None (SweepRunner's built-in inline/ProcessPool
+    path); ``filequeue`` returns the crash-tolerant distributed
+    scheduler sharing the sweep's cache directory, so fleet workers
+    publish into the same content-addressed store the coordinator
+    probes.
+    """
+    if args.scheduler == "pool":
+        if args.jobs == 0:
+            raise SystemExit(
+                f"{args.command}: --jobs 0 coordinates an external "
+                f"fleet and requires --scheduler filequeue")
+        return None
+    from repro.sweep.dist import FileQueueScheduler
+
+    return FileQueueScheduler(
+        jobs=args.jobs,
+        queue_dir=args.queue_dir,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        lease_ttl_s=args.lease_ttl,
+        max_attempts=args.max_attempts)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> str:
     networks = tuple(args.network) if args.network else None
     plan = build_plan(args.plan, seed=args.seed, networks=networks)
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    # jobs=0 is the external-fleet coordinator: the filequeue
+    # scheduler spawns no local workers, and SweepRunner's own jobs
+    # count is unused once a scheduler is injected.
+    runner = SweepRunner(jobs=max(args.jobs, 1), cache=cache,
+                         scheduler=_scheduler_for(args))
     result = runner.run(plan)
     # Surface point failures through the exit code so scripts and CI
     # can gate on the sweep without parsing the output.
@@ -226,6 +255,55 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return number
+
+
+def _nonnegative_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer >= 0, got {value!r}") from None
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a number > 0, got {value!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return number
+
+
+def _add_scheduler_args(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--scheduler`` flags (sweep and dse stay symmetric).
+
+    ``choices=`` gives the required exit-2 validation error naming the
+    valid schedulers, in the same style as every other enum flag.
+    """
+    from repro.sweep.dist.scheduler import SCHEDULER_NAMES
+
+    parser.add_argument("--scheduler", choices=SCHEDULER_NAMES,
+                        default="pool",
+                        help="miss-compute backend: pool = in-process "
+                             "worker pool, filequeue = crash-tolerant "
+                             "shared-directory fleet (default pool)")
+    parser.add_argument("--queue-dir", default=".fleet-queue",
+                        help="filequeue only: shared queue directory "
+                             "external workers can join (default "
+                             ".fleet-queue)")
+    parser.add_argument("--lease-ttl", type=_positive_float,
+                        default=30.0, metavar="SECONDS",
+                        help="filequeue only: heartbeat TTL before a "
+                             "dead worker's point is re-run "
+                             "(default 30)")
+    parser.add_argument("--max-attempts", type=_positive_int, default=3,
+                        help="filequeue only: claims before a failing "
+                             "point is quarantined (default 3)")
 
 
 def _name_list(kind: str, valid: tuple[str, ...]):
@@ -383,7 +461,11 @@ def _cmd_dse(args: argparse.Namespace) -> str:
                               hidden_dim=args.hidden_dim)
                  for dataset in datasets for network in networks]
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    # jobs=0 is the external-fleet coordinator: the filequeue
+    # scheduler spawns no local workers, and SweepRunner's own jobs
+    # count is unused once a scheduler is injected.
+    runner = SweepRunner(jobs=max(args.jobs, 1), cache=cache,
+                         scheduler=_scheduler_for(args))
     engine = DseEngine(space, strategy, workloads, runner,
                        budget=Budget(area_mm2=args.budget_area,
                                      power_w=args.budget_power),
@@ -411,6 +493,42 @@ def _cmd_dse(args: argparse.Namespace) -> str:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n")
         text = f"{result.summary()} -> {args.output}"
+    return text
+
+
+def _cmd_worker(args: argparse.Namespace) -> str:
+    from repro.sweep.dist import QueueError, default_worker_id, run_worker
+
+    worker_id = args.worker_id or default_worker_id()
+    try:
+        stats = run_worker(args.queue_dir, worker_id=worker_id,
+                           poll_s=args.poll, max_idle_s=args.max_idle,
+                           kill_after=args.chaos_kill_after)
+    except QueueError as exc:
+        raise SystemExit(f"worker: {exc}") from None
+    return f"worker {worker_id} exiting: {stats.summary()}"
+
+
+def _cmd_chaos_sweep(args: argparse.Namespace) -> str:
+    import shutil
+    import tempfile
+
+    from repro.sweep.dist import run_chaos
+
+    workdir = args.workdir
+    ephemeral = workdir is None
+    if ephemeral:
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    report = run_chaos(workdir, lease_ttl_s=args.lease_ttl,
+                       stall_timeout_s=args.stall_timeout)
+    args.exit_code = 0 if report.ok else 1
+    text = report.render()
+    if args.show_metrics:
+        text += "\n--- scraped metrics ---\n" + report.metrics_text.rstrip()
+    if ephemeral and report.ok:
+        shutil.rmtree(workdir, ignore_errors=True)
+    elif not report.ok:
+        text += f"\nqueue state kept for post-mortem: {workdir}"
     return text
 
 
@@ -637,8 +755,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=NETWORK_NAMES, metavar="NETWORK",
                        help="restrict the fig3 grid to these networks "
                             "(repeatable; any zoo network, incl. gat/gin)")
-    sweep.add_argument("--jobs", type=_positive_int, default=1,
-                       help="worker processes (default 1 = in-process)")
+    sweep.add_argument("--jobs", type=_nonnegative_int, default=1,
+                       help="worker processes (default 1 = in-process; "
+                            "0 = coordinate an external --scheduler "
+                            "filequeue fleet without local workers)")
     sweep.add_argument("--cache-dir", default=".sweep-cache",
                        help="persistent result cache directory "
                             "(default .sweep-cache)")
@@ -650,6 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write output to this file instead of stdout")
     sweep.add_argument("--seed", type=int, default=0,
                        help="parameter-initialisation seed (default 0)")
+    _add_scheduler_args(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
     trace = sub.add_parser("trace",
                            help="render a pipeline Gantt chart")
@@ -720,8 +841,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="search + parameter seed (default 0); equal "
                           "seeds give bit-identical frontiers at any "
                           "--jobs level")
-    dse.add_argument("--jobs", type=_positive_int, default=1,
-                     help="worker processes (default 1 = in-process)")
+    dse.add_argument("--jobs", type=_nonnegative_int, default=1,
+                     help="worker processes (default 1 = in-process; "
+                          "0 = coordinate an external --scheduler "
+                          "filequeue fleet without local workers)")
     dse.add_argument("--cache-dir", default=".sweep-cache",
                      help="persistent result cache directory "
                           "(default .sweep-cache, shared with sweep)")
@@ -731,7 +854,54 @@ def build_parser() -> argparse.ArgumentParser:
                      default="table", help="output format")
     dse.add_argument("--output", "-o",
                      help="write output to this file instead of stdout")
+    _add_scheduler_args(dse)
     dse.set_defaults(handler=_cmd_dse)
+    worker = sub.add_parser(
+        "worker",
+        help="join a distributed sweep fleet: claim points from a "
+             "shared queue directory until it closes (SIGTERM drains: "
+             "the in-flight point finishes, nothing new is claimed)")
+    worker.add_argument("--queue-dir", required=True,
+                        help="queue directory created by a filequeue "
+                             "coordinator (repro sweep --scheduler "
+                             "filequeue --queue-dir ...)")
+    worker.add_argument("--worker-id", default=None,
+                        help="fleet-visible name (default host-pid)")
+    worker.add_argument("--poll", type=_positive_float, default=0.2,
+                        metavar="SECONDS",
+                        help="idle claim-poll interval (default 0.2)")
+    worker.add_argument("--max-idle", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="exit after this long with nothing to "
+                             "claim (default: wait until the queue "
+                             "closes)")
+    worker.add_argument("--chaos-kill-after", type=_positive_int,
+                        default=None, metavar="N",
+                        help="fault injection: SIGKILL self after "
+                             "claiming the Nth point (used by "
+                             "chaos-sweep to orphan a lease mid-point)")
+    worker.set_defaults(handler=_cmd_worker)
+    chaos = sub.add_parser(
+        "chaos-sweep",
+        help="fault-injection harness: run a small fleet campaign "
+             "while killing workers mid-point and corrupting queue "
+             "files, then verify completeness, cycle-identical "
+             "results, and the fleet metrics")
+    chaos.add_argument("--workdir", default=None,
+                       help="directory for queue + caches (default: a "
+                            "temp dir, removed on success, kept on "
+                            "failure for post-mortem)")
+    chaos.add_argument("--lease-ttl", type=_positive_float, default=1.5,
+                       metavar="SECONDS",
+                       help="campaign lease TTL; small so reaping is "
+                            "observed quickly (default 1.5)")
+    chaos.add_argument("--stall-timeout", type=_positive_float,
+                       default=120.0, metavar="SECONDS",
+                       help="give up if the fleet makes no progress "
+                            "for this long (default 120)")
+    chaos.add_argument("--show-metrics", action="store_true",
+                       help="also print the scraped Prometheus text")
+    chaos.set_defaults(handler=_cmd_chaos_sweep)
     perf = sub.add_parser(
         "perf",
         help="benchmark host wall-clock of load/compile/simulate per "

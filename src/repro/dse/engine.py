@@ -218,7 +218,19 @@ class DseResult:
 
 
 class DseEngine:
-    """Search orchestrator: strategy in, Pareto frontier out."""
+    """Search orchestrator: strategy in, Pareto frontier out.
+
+    All candidate evaluation flows through ``runner`` (a
+    :class:`SweepRunner`), so the engine inherits its execution
+    backend wholesale: give the runner a
+    :class:`~repro.sweep.runner.Scheduler` — e.g. the crash-tolerant
+    :class:`~repro.sweep.dist.FileQueueScheduler` behind ``repro dse
+    --scheduler filequeue`` — and every generation's cache misses are
+    computed by the fleet, with per-point retry and resume, while the
+    search logic here stays byte-identical (candidates are
+    deterministic functions of the seed, and results come back in
+    plan order whatever computes them).
+    """
 
     def __init__(self, space: DesignSpace, strategy: SearchStrategy,
                  workloads: list[WorkloadSpec], runner: SweepRunner,

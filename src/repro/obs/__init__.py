@@ -31,6 +31,7 @@ from repro.obs.metrics import (
     parse_prometheus,
     render_prometheus,
     series_sum,
+    series_value,
 )
 from repro.obs.perfetto import (
     build_trace,
@@ -71,6 +72,7 @@ __all__ = [
     "render_profile",
     "render_prometheus",
     "series_sum",
+    "series_value",
     "set_tracer",
     "span",
     "summarize_probe",

@@ -289,3 +289,20 @@ def series_sum(parsed: dict[tuple, float], name: str,
         if sample_name == name and want <= set(labels):
             total += value
     return total
+
+
+def series_value(parsed: dict[tuple, float], name: str,
+                 **labels) -> float:
+    """Exact-lookup counterpart of :func:`series_sum`: the single
+    sample of ``name`` with *exactly* ``labels``. KeyError (naming the
+    known series of ``name``) when absent, so assertions on scraped
+    metrics fail loudly instead of summing an empty match to 0."""
+    key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+    try:
+        return parsed[key]
+    except KeyError:
+        known = sorted(labels for (sample, labels) in parsed
+                       if sample == name)
+        raise KeyError(
+            f"no sample {name}{dict(labels) or ''}; "
+            f"known label sets for {name}: {known}") from None

@@ -28,10 +28,17 @@ reports p50/p99 latency plus sustained RPS into ``BENCH_serve.json``.
 
 from repro.serve.protocol import ProtocolError, parse_request
 from repro.serve.server import ServeState, make_server, serve
-from repro.serve.workqueue import Job, QueueClosed, QueueFull, WorkQueue
+from repro.serve.workqueue import (
+    Job,
+    JobExpired,
+    QueueClosed,
+    QueueFull,
+    WorkQueue,
+)
 
 __all__ = [
     "Job",
+    "JobExpired",
     "ProtocolError",
     "QueueClosed",
     "QueueFull",

@@ -89,6 +89,18 @@ def _name_tuple(body: dict, name: str, valid: tuple[str, ...],
     return tuple(value)
 
 
+def _timeout_s(body: dict) -> float | None:
+    """Optional queue-wait deadline in seconds (positive real)."""
+    value = body.get("timeout_s")
+    if value is None:
+        return None
+    if (isinstance(value, bool) or not isinstance(value, numbers.Real)
+            or value <= 0):
+        raise ProtocolError(
+            f"timeout_s must be a number > 0 (seconds), got {value!r}")
+    return float(value)
+
+
 def _overrides(body: dict) -> FrozenOverrides:
     raw = body.get("overrides") or {}
     if not isinstance(raw, dict):
@@ -119,6 +131,13 @@ class ServeRequest:
     """Base class: a validated request with a coalescing identity."""
 
     endpoint: str = field(init=False, default="")
+    #: Max seconds the request may wait *queued* before the daemon
+    #: answers 504 instead of computing (None = wait forever).
+    #: Deliberately NOT part of :meth:`key`: the deadline changes when
+    #: a caller gets an answer, never what the answer is, so requests
+    #: differing only in patience still coalesce (the shared job keeps
+    #: the latest deadline — see ``WorkQueue.submit``).
+    timeout_s: float | None = None
 
     def key(self) -> tuple:
         """Canonical hashable identity; equal keys ⇒ equal results."""
@@ -205,18 +224,21 @@ def parse_request(endpoint: str, body: dict) -> ServeRequest:
     dataset_names = tuple(DATASETS)
     if endpoint == "run":
         _reject_unknown(body, ("dataset", "network", "block",
-                               "hidden_dim", "overrides"))
+                               "hidden_dim", "overrides", "timeout_s"))
         return RunRequest(
+            timeout_s=_timeout_s(body),
             dataset=_require_str(body, "dataset", dataset_names),
             network=_require_str(body, "network", NETWORK_NAMES),
             block=_positive_int(body, "block", 64, allow_none=True),
             hidden_dim=_positive_int(body, "hidden_dim", 16),
             overrides=_overrides(body))
     if endpoint == "sweep":
-        _reject_unknown(body, ("plan", "networks", "seed", "jobs"))
+        _reject_unknown(body, ("plan", "networks", "seed", "jobs",
+                               "timeout_s"))
         networks = (None if body.get("networks") is None
                     else _name_tuple(body, "networks", NETWORK_NAMES, ()))
         return SweepRequest(
+            timeout_s=_timeout_s(body),
             plan=_require_str(body, "plan", PLAN_NAMES, default="smoke"),
             networks=networks,
             seed=_int(body, "seed", 0),
@@ -226,13 +248,14 @@ def parse_request(endpoint: str, body: dict) -> ServeRequest:
                                "samples", "population", "generations",
                                "hidden_dim", "max_candidates",
                                "budget_area", "budget_power", "seed",
-                               "jobs"))
+                               "jobs", "timeout_s"))
         for name in ("budget_area", "budget_power"):
             value = body.get(name)
             if value is not None and (isinstance(value, bool) or
                                       not isinstance(value, numbers.Real)):
                 raise ProtocolError(f"{name} must be a number or null")
         return DseRequest(
+            timeout_s=_timeout_s(body),
             strategy=_require_str(body, "strategy", DSE_STRATEGIES,
                                   default="random"),
             datasets=_name_tuple(body, "datasets", dataset_names,
@@ -250,8 +273,9 @@ def parse_request(endpoint: str, body: dict) -> ServeRequest:
             jobs=_positive_int(body, "jobs", 1))
     if endpoint == "perf":
         _reject_unknown(body, ("datasets", "networks", "hidden_dim",
-                               "repeat"))
+                               "repeat", "timeout_s"))
         return PerfRequest(
+            timeout_s=_timeout_s(body),
             datasets=_name_tuple(body, "datasets", dataset_names,
                                  ("tiny",)),
             networks=_name_tuple(body, "networks", NETWORK_NAMES,

@@ -30,7 +30,12 @@ from repro.serve.protocol import (
     ServeRequest,
     parse_request,
 )
-from repro.serve.workqueue import QueueClosed, QueueFull, WorkQueue
+from repro.serve.workqueue import (
+    JobExpired,
+    QueueClosed,
+    QueueFull,
+    WorkQueue,
+)
 
 #: Handler threads give up on a job after this long (HTTP 500). Far
 #: above any legitimate request; guards a wedged worker from leaking
@@ -123,6 +128,10 @@ class ServeState:
         m.counter("repro_queue_errors_total",
                   "Jobs whose executor raised",
                   fn=lambda: q.errors)
+        m.counter("repro_queue_expired_total",
+                  "Jobs answered 504: queued past their timeout_s "
+                  "deadline, never executed",
+                  fn=lambda: q.expired)
         m.counter("repro_full_lowerings_total",
                   "Complete workload lowerings in this process",
                   fn=full_lowering_count)
@@ -174,7 +183,8 @@ class ServeState:
             self.request_counts[request.endpoint] += 1
         executor = self.executors[request.endpoint]
         return self.queue.submit(request.key(),
-                                 lambda: executor(request))
+                                 lambda: executor(request),
+                                 timeout_s=request.timeout_s)
 
     # -- executors (run on queue worker threads) -----------------------
     def _exec_run(self, request) -> dict:
@@ -411,6 +421,11 @@ class _Handler(BaseHTTPRequestHandler):
             state.queue_wait.observe(job.started_at - job.submitted_at)
         if job.service_s is not None:
             service_ms = round(job.service_s * 1e3, 3)
+        if isinstance(job.error, JobExpired):
+            finish(504, {"error": str(job.error)},
+                   level="warning", key=str(request.key()),
+                   error=str(job.error), coalesced=coalesced)
+            return
         if job.error is not None:
             finish(500, {"error": f"{type(job.error).__name__}: "
                                   f"{job.error}"},

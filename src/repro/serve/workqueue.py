@@ -16,10 +16,16 @@ keep the system stable under heavy traffic:
   ``retry_after`` estimate (queue length × recent mean service time ÷
   workers) instead of growing without bound; the server maps it to
   HTTP 429 + ``Retry-After``.
+* **Deadlines** — a request may carry ``timeout_s``; a job still
+  *queued* when its deadline passes is failed with :class:`JobExpired`
+  (→ HTTP 504) instead of executing, so a stale backlog can't occupy
+  workers computing answers nobody is waiting for. Started jobs always
+  run to completion.
 * **Draining** — :meth:`stop` (the SIGTERM path) closes the queue to
   new work (:class:`QueueClosed` → HTTP 503), lets the workers finish
   everything already accepted, and joins them; every accepted request
-  gets its response before the daemon exits.
+  gets its response before the daemon exits — expired ones get their
+  504 immediately rather than being computed first.
 """
 
 from __future__ import annotations
@@ -43,6 +49,12 @@ class QueueClosed(Exception):
     """The queue is draining (shutdown in progress); maps to 503."""
 
 
+class JobExpired(Exception):
+    """A queued job passed its ``timeout_s`` deadline before any worker
+    started it; maps to 504 (the client stopped waiting — computing the
+    result anyway would only delay fresher requests)."""
+
+
 @dataclass
 class Job:
     """One unit of queued work; shared by every coalesced waiter."""
@@ -57,6 +69,9 @@ class Job:
     submitted_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
     finished_at: float | None = None
+    #: Monotonic deadline; None = wait forever. Checked only while the
+    #: job is queued — once a worker starts it, it runs to completion.
+    deadline: float | None = None
 
     @property
     def service_s(self) -> float | None:
@@ -71,8 +86,18 @@ class WorkQueue:
     #: Service times remembered for the Retry-After estimate.
     _DURATION_WINDOW = 64
 
-    #: Floor for Retry-After (seconds) when the queue has no history.
+    #: Floor for Retry-After (seconds) whatever the estimate says.
     _MIN_RETRY_AFTER = 1
+
+    #: Assumed per-job service time (seconds) while the rolling window
+    #: is still empty — i.e. a cold daemon rejecting before *any* job
+    #: has completed. Without this the estimate degenerated to the
+    #: 1-second floor regardless of backlog, telling a client facing a
+    #: full queue of cold-compile jobs to hammer the daemon every
+    #: second. 2s is a deliberately conservative stand-in for a cold
+    #: compile+simulate on the small benchmark graphs; real history
+    #: replaces it as soon as one job finishes.
+    _DEFAULT_SERVICE_S = 2.0
 
     def __init__(self, workers: int = 2, depth: int = 32) -> None:
         if workers < 1:
@@ -94,6 +119,7 @@ class WorkQueue:
         self.rejected = 0
         self.completed = 0
         self.errors = 0
+        self.expired = 0
         self._threads = [
             threading.Thread(target=self._work, name=f"serve-worker-{i}",
                              daemon=True)
@@ -103,25 +129,40 @@ class WorkQueue:
             thread.start()
 
     # -- producer side -------------------------------------------------
-    def submit(self, key: tuple, fn) -> tuple[Job, bool]:
+    def submit(self, key: tuple, fn,
+               timeout_s: float | None = None) -> tuple[Job, bool]:
         """Enqueue ``fn`` under ``key``; returns ``(job, coalesced)``.
 
         Raises :class:`QueueFull` at capacity and :class:`QueueClosed`
         while draining. The caller waits on ``job.event`` and then
         reads ``job.result`` / ``job.error``.
+
+        ``timeout_s`` bounds how long the job may sit *queued*: a
+        worker popping it past the deadline fails it with
+        :class:`JobExpired` instead of executing. Coalesced waiters
+        keep the job alive for the most patient of them — the deadline
+        only ever moves later (or disappears when a waiter without a
+        timeout attaches), because the key-equal result will satisfy
+        all of them.
         """
         with self._lock:
             if self._closed:
                 raise QueueClosed("daemon is draining")
+            deadline = (None if timeout_s is None
+                        else time.monotonic() + timeout_s)
             existing = self._inflight.get(key)
             if existing is not None:
                 existing.waiters += 1
+                if deadline is None:
+                    existing.deadline = None
+                elif existing.deadline is not None:
+                    existing.deadline = max(existing.deadline, deadline)
                 self.coalesced += 1
                 return existing, True
             if len(self._pending) >= self.depth:
                 self.rejected += 1
                 raise QueueFull(self.retry_after_estimate())
-            job = Job(key=key, fn=fn)
+            job = Job(key=key, fn=fn, deadline=deadline)
             self._inflight[key] = job
             self._pending.append(job)
             self.submitted += 1
@@ -136,9 +177,10 @@ class WorkQueue:
         :data:`_MIN_RETRY_AFTER`.
         """
         backlog = len(self._pending) + self._running
-        if not self._durations:
-            return self._MIN_RETRY_AFTER
-        mean = sum(self._durations) / len(self._durations)
+        if self._durations:
+            mean = sum(self._durations) / len(self._durations)
+        else:
+            mean = self._DEFAULT_SERVICE_S
         return max(self._MIN_RETRY_AFTER,
                    math.ceil(backlog * mean / self.workers))
 
@@ -151,6 +193,21 @@ class WorkQueue:
                 if not self._pending:
                     return  # closed and drained
                 job = self._pending.popleft()
+                if (job.deadline is not None
+                        and time.monotonic() > job.deadline):
+                    # Expired while queued: fail without executing.
+                    # During a drain this is what keeps a backlog of
+                    # stale deadlines from delaying shutdown.
+                    self._inflight.pop(job.key, None)
+                    job.error = JobExpired(
+                        "job expired after waiting "
+                        f"{time.monotonic() - job.submitted_at:.1f}s "
+                        "in queue (timeout_s deadline passed)")
+                    self.expired += 1
+                    if self._closed and not self._pending:
+                        self._ready.notify_all()
+                    job.event.set()
+                    continue
                 self._running += 1
             job.started_at = time.monotonic()
             try:
@@ -216,5 +273,6 @@ class WorkQueue:
                 "rejected_429": self.rejected,
                 "completed": self.completed,
                 "errors": self.errors,
+                "expired_504": self.expired,
                 "draining": self._closed,
             }

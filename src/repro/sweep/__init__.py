@@ -47,6 +47,7 @@ from repro.sweep.plan import (
 from repro.sweep.runner import (
     PointResult,
     ProcessPoolScheduler,
+    Scheduler,
     SweepError,
     SweepResult,
     SweepRunner,
@@ -77,6 +78,7 @@ __all__ = [
     "table5_plan",
     "PointResult",
     "ProcessPoolScheduler",
+    "Scheduler",
     "SweepError",
     "SweepResult",
     "SweepRunner",

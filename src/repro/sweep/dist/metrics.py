@@ -1,0 +1,59 @@
+"""Fleet metrics: FileQueue counters exposed through the obs registry.
+
+Every number here is *scan-derived* from the queue directory —
+summed ``attempts``/``failures``/``expiries`` fields and state-dir
+file counts — not from any process's memory. That is deliberate: the
+failure modes these metrics exist to observe (SIGKILLed workers,
+restarted coordinators) are exactly the ones that wipe in-memory
+counters, so a scrape must reconstruct the truth from the one thing
+that survives: the task files. Callback instruments (``fn=``) read the
+queue at scrape time, mirroring how the serve daemon exposes its cache
+counters (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricRegistry
+from repro.sweep.dist.queue import FileQueue
+
+
+def register_fleet_metrics(registry: MetricRegistry,
+                           queue: FileQueue) -> None:
+    """Attach the fleet instruments for ``queue`` to ``registry``.
+
+    Counters only ever move forward because the underlying record
+    fields (``attempts``, ``failures``, ``expiries``) are monotone and
+    terminal records are never deleted while the queue exists.
+    """
+    registry.counter(
+        "repro_fleet_lease_expiries_total",
+        "Leases reaped after their TTL (worker died or stalled)",
+        fn=lambda: float(queue.stats()["expiries"]))
+    registry.counter(
+        "repro_fleet_retries_total",
+        "Extra claims beyond each task's first, whatever the cause",
+        fn=lambda: float(queue.stats()["retries"]))
+    registry.counter(
+        "repro_fleet_failures_total",
+        "Worker-reported point failures (pre-quarantine attempts "
+        "included)",
+        fn=lambda: float(queue.stats()["failures"]))
+    registry.counter(
+        "repro_fleet_quarantined_total",
+        "Poison points moved to failed/ after exhausting max_attempts",
+        fn=lambda: float(queue.stats()["quarantined"]))
+    registry.counter(
+        "repro_fleet_corrupt_files_total",
+        "Unreadable task/lease files moved aside to corrupt/",
+        fn=lambda: float(queue.stats()["corrupt"]))
+    registry.gauge(
+        "repro_fleet_tasks",
+        "Tasks currently in each queue state",
+        labels=("state",),
+        fn=lambda: _task_gauge(queue))
+
+
+def _task_gauge(queue: FileQueue) -> dict:
+    stats = queue.stats()
+    return {(state,): float(stats[state])
+            for state in ("pending", "leased", "done", "failed")}

@@ -10,9 +10,15 @@ Three layers:
   per seed, every point carries its own seed, and results come back in
   plan order, so ``--jobs 4`` is byte-identical to ``--jobs 1``.
 * :class:`SweepRunner` — probe the :class:`ResultCache` first, compute
-  only the misses (inline or pooled), persist the fresh results, and
-  return a :class:`SweepResult` with per-run hit/miss accounting and
-  JSON/CSV serialisation.
+  only the misses (inline or through a :class:`Scheduler`), persist
+  the fresh results, and return a :class:`SweepResult` with per-run
+  hit/miss accounting and JSON/CSV serialisation.
+
+Schedulers are pluggable: anything satisfying the :class:`Scheduler`
+protocol (``run(points) -> list[PointResult]`` in input order) can
+back a ``SweepRunner`` — the in-process :class:`ProcessPoolScheduler`
+here, or the crash-tolerant distributed
+:class:`~repro.sweep.dist.FileQueueScheduler`.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.config.overrides import apply_overrides
 from repro.config.platforms import gnnerator_config, next_generation_variants
@@ -40,6 +47,24 @@ from repro.sweep.plan import (
 
 class SweepError(RuntimeError):
     """A sweep result required by a caller failed to compute."""
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Anything that can compute a batch of sweep points.
+
+    Contract: ``run(points)`` returns one :class:`PointResult` per
+    input point **in input order**, converting per-point failures into
+    ``error`` results rather than raising, and computing each point
+    deterministically from ``(point, point.seed)`` so the backend
+    choice never changes a number. ``name`` is the CLI-facing backend
+    label (``--scheduler <name>``).
+    """
+
+    name: str
+
+    def run(self, points) -> "list[PointResult]":
+        ...  # pragma: no cover - protocol signature only
 
 
 @dataclass
@@ -214,6 +239,8 @@ class ProcessPoolScheduler:
     workers actually die.
     """
 
+    name = "pool"
+
     def __init__(self, jobs: int = 2, worker_fn=_worker_run) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -352,13 +379,24 @@ class SweepResult:
 
 
 class SweepRunner:
-    """Cache-aware front door: probe, compute misses, persist, report."""
+    """Cache-aware front door: probe, compute misses, persist, report.
 
-    def __init__(self, jobs: int = 1, cache=None, harness=None) -> None:
+    ``scheduler`` overrides how cache misses are computed: pass any
+    :class:`Scheduler` (e.g. the distributed
+    :class:`~repro.sweep.dist.FileQueueScheduler`) and every miss is
+    routed through it; otherwise misses run inline (``jobs=1``) or on
+    a :class:`ProcessPoolScheduler`. Hit/miss accounting and cache
+    persistence are identical across backends, so a restarted campaign
+    recomputes exactly the unfinished points whichever scheduler runs.
+    """
+
+    def __init__(self, jobs: int = 1, cache=None, harness=None,
+                 scheduler: "Scheduler | None" = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache if cache is not None else NullCache()
+        self.scheduler = scheduler
         self._harnesses: dict[int, object] = {}
         if harness is not None:
             self._harnesses[harness.seed] = harness
@@ -382,7 +420,9 @@ class SweepRunner:
                 results.append(None)
         if pending:
             missed = [point for _, point, _ in pending]
-            if self.jobs > 1 and len(missed) > 1:
+            if self.scheduler is not None:
+                computed = self.scheduler.run(missed)
+            elif self.jobs > 1 and len(missed) > 1:
                 computed = ProcessPoolScheduler(self.jobs).run(missed)
             else:
                 computed = [run_point(p, _harness_for(p.seed,

@@ -71,13 +71,15 @@ class TestArgumentValidation:
         _expect_usage_error(capsys, ["sweep", "fig3", "--network", "bert"],
                             "invalid choice: 'bert'", "gcn")
 
-    def test_sweep_rejects_zero_jobs(self, capsys):
-        _expect_usage_error(capsys, ["sweep", "smoke", "--jobs", "0"],
-                            "must be >= 1")
+    def test_sweep_rejects_negative_jobs(self, capsys):
+        # 0 is now valid (external-fleet coordinator, filequeue only —
+        # see tests/test_dist_sweep.py); negatives still exit 2.
+        _expect_usage_error(capsys, ["sweep", "smoke", "--jobs", "-1"],
+                            "must be >= 0")
 
     def test_dse_rejects_negative_jobs(self, capsys):
         _expect_usage_error(capsys, ["dse", "--jobs", "-2"],
-                            "must be >= 1")
+                            "must be >= 0")
 
     def test_dse_unknown_dataset_names_choices(self, capsys):
         _expect_usage_error(capsys, ["dse", "--datasets", "reddit"],

@@ -208,6 +208,22 @@ class TestMetrics:
         assert second[("repro_src_total", ())] == 5
         assert series_sum(second, "repro_layered_total") == 3.0
 
+    def test_series_value_exact_lookup(self):
+        from repro.obs import series_value
+
+        registry = MetricRegistry()
+        gauge = registry.gauge("repro_tasks", "tasks",
+                               labels=("state",))
+        gauge.set(3, state="pending")
+        gauge.set(7, state="done")
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert series_value(parsed, "repro_tasks", state="done") == 7
+        assert series_value(parsed, "repro_tasks", state="pending") == 3
+        with pytest.raises(KeyError, match="known label sets"):
+            series_value(parsed, "repro_tasks", state="leased")
+        with pytest.raises(KeyError, match="no sample"):
+            series_value(parsed, "repro_nonexistent")
+
     @pytest.mark.parametrize("bad", [
         "repro_x_total",              # sample line without a value
         "repro_x_total{le=0.1} 1",    # unquoted label value

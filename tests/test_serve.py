@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import io
 import json
+import math
 import os
 import signal
 import subprocess
@@ -19,6 +20,7 @@ from pathlib import Path
 import pytest
 
 from repro.serve import (
+    JobExpired,
     ProtocolError,
     QueueClosed,
     QueueFull,
@@ -752,3 +754,247 @@ class TestDaemonLifecycle:
             if process.poll() is None:
                 process.kill()
                 process.communicate()
+
+
+# ---------------------------------------------------------------------
+# Retry-After cold start + request deadlines (ISSUE satellites)
+# ---------------------------------------------------------------------
+class TestRetryAfterColdStart:
+    """Before any job completes there is no service-time history; the
+    estimate must still scale with the backlog via the documented
+    default instead of collapsing to the 1-second floor."""
+
+    def test_cold_estimate_scales_with_backlog(self):
+        queue = WorkQueue(workers=1, depth=8)
+        gate = threading.Event()
+        running = threading.Event()
+
+        def block():
+            running.set()
+            gate.wait(10.0)
+
+        try:
+            queue.submit(("running",), block)
+            assert running.wait(10.0)
+            assert not queue._durations  # genuinely cold
+            one = queue.retry_after_estimate()
+            for i in range(3):
+                queue.submit((f"q{i}",), lambda: None)
+            four = queue.retry_after_estimate()
+            default = WorkQueue._DEFAULT_SERVICE_S
+            assert one == math.ceil(1 * default)
+            assert four == math.ceil(4 * default)
+            assert four > one  # backlog-sensitive, not floored
+        finally:
+            gate.set()
+            queue.stop(timeout=10.0)
+
+    def test_real_history_replaces_the_default(self):
+        queue = WorkQueue(workers=1, depth=8)
+        try:
+            job, _ = queue.submit(("fast",), lambda: None)
+            assert job.event.wait(5.0)
+            deadline = time.monotonic() + 5.0
+            while not queue._durations and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert queue._durations
+            # An (empty) backlog estimated from ~0s history hits the
+            # 1s floor rather than the 2s cold default.
+            assert queue.retry_after_estimate() == 1
+        finally:
+            queue.stop(timeout=10.0)
+
+
+class TestRequestDeadlines:
+    def test_timeout_s_validation(self):
+        base = {"dataset": "tiny", "network": "gcn"}
+        ok = parse_request("run", dict(base, timeout_s=2.5))
+        assert ok.timeout_s == 2.5
+        assert parse_request("run", dict(base)).timeout_s is None
+        for bad in (0, -1, True, "soon", [1]):
+            with pytest.raises(ProtocolError, match="timeout_s"):
+                parse_request("run", dict(base, timeout_s=bad))
+
+    def test_timeout_s_accepted_by_every_endpoint(self):
+        bodies = {
+            "run": {"dataset": "tiny", "network": "gcn"},
+            "sweep": {"plan": "smoke"},
+            "dse": {},
+            "perf": {},
+        }
+        for endpoint, body in bodies.items():
+            request = parse_request(endpoint,
+                                    dict(body, timeout_s=1.0))
+            assert request.timeout_s == 1.0
+
+    def test_timeout_s_is_not_part_of_the_coalescing_key(self):
+        body = {"dataset": "tiny", "network": "gcn"}
+        patient = parse_request("run", dict(body, timeout_s=60.0))
+        hurried = parse_request("run", dict(body, timeout_s=0.5))
+        forever = parse_request("run", body)
+        assert patient.key() == hurried.key() == forever.key()
+
+    def test_queued_job_past_deadline_expires_unexecuted(self):
+        queue = WorkQueue(workers=1, depth=8)
+        gate = threading.Event()
+        running = threading.Event()
+        executed = []
+
+        def block():
+            running.set()
+            gate.wait(10.0)
+
+        try:
+            queue.submit(("running",), block)
+            assert running.wait(10.0)
+            job, _ = queue.submit(("stale",),
+                                  lambda: executed.append(1),
+                                  timeout_s=0.02)
+            time.sleep(0.1)  # deadline passes while still queued
+            gate.set()
+            assert job.event.wait(10.0)
+            assert isinstance(job.error, JobExpired)
+            assert executed == []
+            assert queue.stats()["expired_504"] == 1
+        finally:
+            gate.set()
+            queue.stop(timeout=10.0)
+
+    def test_started_job_runs_to_completion_despite_deadline(self):
+        queue = WorkQueue(workers=1, depth=8)
+        gate = threading.Event()
+        running = threading.Event()
+
+        def slow():
+            running.set()
+            gate.wait(10.0)
+            return "finished"
+
+        try:
+            job, _ = queue.submit(("slow",), slow, timeout_s=0.02)
+            assert running.wait(10.0)  # started before the deadline
+            time.sleep(0.1)
+            gate.set()
+            assert job.event.wait(10.0)
+            assert job.error is None and job.result == "finished"
+            assert queue.stats()["expired_504"] == 0
+        finally:
+            gate.set()
+            queue.stop(timeout=10.0)
+
+    def test_coalesced_waiters_keep_the_most_patient_deadline(self):
+        queue = WorkQueue(workers=1, depth=8)
+        gate = threading.Event()
+        running = threading.Event()
+
+        def block():
+            running.set()
+            gate.wait(10.0)
+
+        try:
+            queue.submit(("running",), block)
+            assert running.wait(10.0)
+            job, _ = queue.submit(("shared",), lambda: "v",
+                                  timeout_s=1.0)
+            first = job.deadline
+            assert first is not None
+            same, coalesced = queue.submit(("shared",), lambda: "v",
+                                           timeout_s=60.0)
+            assert coalesced and same is job
+            assert job.deadline > first  # extended, never shortened
+            _, again = queue.submit(("shared",), lambda: "v",
+                                    timeout_s=0.001)
+            assert again
+            assert job.deadline > first  # impatient waiter can't clip
+            queue.submit(("shared",), lambda: "v")  # no timeout at all
+            assert job.deadline is None
+        finally:
+            gate.set()
+            queue.stop(timeout=10.0)
+
+    def test_drain_answers_expired_backlog_with_504_not_compute(self):
+        queue = WorkQueue(workers=1, depth=8)
+        gate = threading.Event()
+        running = threading.Event()
+        executed = []
+
+        def block():
+            running.set()
+            gate.wait(10.0)
+
+        try:
+            queue.submit(("running",), block)
+            assert running.wait(10.0)
+            stale, _ = queue.submit(("stale",),
+                                    lambda: executed.append(1),
+                                    timeout_s=0.02)
+            time.sleep(0.1)
+            gate.set()
+            assert queue.stop(drain=True, timeout=10.0)
+            assert isinstance(stale.error, JobExpired)
+            assert executed == []
+            assert queue.stats()["expired_504"] == 1
+        finally:
+            gate.set()
+
+    def test_http_504_with_metric_when_deadline_passes_in_queue(
+            self, tmp_path):
+        from repro.obs.metrics import parse_prometheus, series_value
+
+        state = ServeState(seed=0, workers=1, depth=4, cache_dir=None)
+        state.harness.program_store = None
+        gate = threading.Event()
+        running = threading.Event()
+        real = state.executors["run"]
+
+        def gated(request):
+            running.set()
+            gate.wait(10.0)
+            return real(request)
+
+        state.executors["run"] = gated
+        httpd = make_server(state, "127.0.0.1", 0)
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.02},
+                                  daemon=True)
+        thread.start()
+        try:
+            responses = []
+
+            def fire(block, timeout_s):
+                body = {"dataset": "tiny", "network": "gcn",
+                        "block": block}
+                if timeout_s is not None:
+                    body["timeout_s"] = timeout_s
+                responses.append(_post(f"{base}/run", body,
+                                       timeout=60.0))
+
+            t1 = threading.Thread(target=fire, args=(64, None))
+            t1.start()
+            assert running.wait(10.0)  # occupies the only worker
+            t2 = threading.Thread(target=fire, args=(32, 0.05))
+            t2.start()
+            deadline = time.monotonic() + 10.0
+            while (state.queue.stats()["pending"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            time.sleep(0.1)  # let the queued request's deadline lapse
+            gate.set()
+            t1.join(60.0)
+            t2.join(60.0)
+            by_status = {status: payload
+                         for status, payload, _ in responses}
+            assert set(by_status) == {200, 504}
+            assert "expired" in by_status[504]["error"]
+            assert state.queue.stats()["expired_504"] == 1
+            status, text, _ = _get_text(f"{base}/metrics")
+            assert status == 200
+            parsed = parse_prometheus(text)
+            assert series_value(
+                parsed, "repro_queue_expired_total") == 1
+        finally:
+            gate.set()
+            state.queue.stop(drain=False, timeout=5.0)
+            httpd.shutdown()
+            httpd.server_close()
