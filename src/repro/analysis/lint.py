@@ -297,8 +297,9 @@ def _is_file_write(node: ast.Call) -> bool:
 
 def rule_atomic_writes(src: SourceFile) -> Iterator[LintFinding]:
     """Cache modules must publish files atomically: any function that
-    writes must finish with ``os.replace`` (write-to-tmp-then-rename),
-    so concurrent readers never see a torn entry."""
+    writes must finish with ``os.replace`` (write-to-tmp-then-rename)
+    or ``os.link`` (exclusive create from a tmp), so concurrent
+    readers never see a torn entry."""
     if src.rel not in _CACHE_FILES:
         return
     for func in ast.walk(src.tree):
@@ -310,7 +311,8 @@ def rule_atomic_writes(src: SourceFile) -> Iterator[LintFinding]:
             continue
         replaces = any(
             isinstance(node, ast.Call)
-            and _dotted(node.func) in ("os.replace", "os.rename")
+            and _dotted(node.func) in ("os.replace", "os.rename",
+                                       "os.link")
             for node in ast.walk(func))
         if not replaces:
             for node in writes:

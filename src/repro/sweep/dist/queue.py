@@ -11,7 +11,8 @@ encodes its state::
     <root>/done/<id>.json    completed, metrics attached
     <root>/failed/<id>.json  quarantined after max_attempts claims
     <root>/corrupt/          unreadable files moved aside, kept for audit
-    <root>/closed            campaign-complete marker (workers exit)
+    <root>/closed            campaign-complete marker (workers exit;
+                             the next campaign's coordinator reopens)
 
 Correctness rests on two filesystem guarantees only: ``os.replace`` is
 atomic within a directory tree, and a file's mtime can be refreshed
@@ -78,6 +79,26 @@ def _write_json(path: Path, record: dict) -> None:
     os.replace(tmp, path)
 
 
+def _publish_exclusive(path: Path, record: dict) -> bool:
+    """Create ``path`` atomically only if nothing exists there yet.
+
+    Hard-linking a fully-written tmp either publishes the complete
+    record or fails with ``FileExistsError`` — unlike ``os.replace``
+    it never overwrites, so two racing creators cannot each install
+    their own copy. Returns True if this call published."""
+    global _WRITE_SEQUENCE
+    _WRITE_SEQUENCE += 1
+    tmp = path.parent / f".{path.name}.{os.getpid()}.{_WRITE_SEQUENCE}.tmp"
+    tmp.write_text(json.dumps(record, sort_keys=True))
+    try:
+        os.link(tmp, path)
+    except FileExistsError:
+        return False
+    finally:
+        os.unlink(tmp)
+    return True
+
+
 def _read_json(path: Path) -> dict | None:
     """Read a task record; any failure — missing file, torn or
     truncated JSON, wrong schema — reads as None (the caller
@@ -135,7 +156,7 @@ class FileQueue:
         manifest_path = self.root / "queue.json"
         manifest = _read_json_manifest(manifest_path)
         if manifest is None:
-            manifest = {
+            candidate = {
                 "schema": RECORD_SCHEMA,
                 "lease_ttl_s": float(lease_ttl_s),
                 "max_attempts": int(max_attempts),
@@ -143,10 +164,18 @@ class FileQueue:
                 "backoff_cap_s": float(backoff_cap_s),
                 "cache_dir": cache_dir,
             }
-            _write_json(manifest_path, manifest)
-            # A racing creator may have won the replace; re-read so
-            # every process adopts the same (winning) parameters.
-            manifest = _read_json_manifest(manifest_path) or manifest
+            # Exclusive create: exactly one racing creator publishes;
+            # every loser re-reads and adopts the winner's parameters,
+            # so the fleet can never run with mixed TTLs or budgets.
+            if _publish_exclusive(manifest_path, candidate):
+                manifest = candidate
+            else:
+                manifest = _read_json_manifest(manifest_path)
+        if manifest is None:
+            raise QueueError(
+                f"unreadable queue manifest at {manifest_path} — the "
+                f"directory's protocol parameters are unknown; move "
+                f"the file aside or start a fresh queue directory")
         self.lease_ttl_s = float(manifest["lease_ttl_s"])
         self.max_attempts = int(manifest["max_attempts"])
         self.backoff_base_s = float(manifest["backoff_base_s"])
@@ -224,6 +253,14 @@ class FileQueue:
                 os.utime(lease)
             except FileNotFoundError:
                 continue  # reaped between replace and utime (tiny TTL)
+            # The file we just moved is the authoritative record:
+            # between our pending read and winning the replace, a racer
+            # can claim, fail, and re-enqueue the task, and writing the
+            # stale pre-claim copy back would roll back its
+            # attempts/failures accounting — letting a poison point
+            # outlive the quarantine budget. Keep the earlier read only
+            # if the lease is unreadable.
+            record = _read_json(lease) or record
             record["attempts"] = int(record.get("attempts", 0)) + 1
             record["worker"] = worker
             _write_json(lease, record)
@@ -435,6 +472,16 @@ class FileQueue:
 
     def is_closed(self) -> bool:
         return (self.root / "closed").exists()
+
+    def reopen(self) -> None:
+        """Remove the campaign-complete marker so a new campaign can
+        dispatch fresh work over the same directory. Without this,
+        every worker spawned or attached after a completed run sees
+        ``is_closed()`` and exits before claiming anything."""
+        try:
+            os.remove(self.root / "closed")
+        except FileNotFoundError:
+            pass
 
 
 def _read_json_manifest(path: Path) -> dict | None:

@@ -111,6 +111,12 @@ class FileQueueScheduler:
                           backoff_base_s=self.backoff_base_s,
                           backoff_cap_s=self.backoff_cap_s,
                           cache_dir=self.cache_dir)
+        # A previous run over this directory left its campaign-complete
+        # marker behind (run() closes the queue on exit). Clear it, or
+        # every worker — freshly spawned or externally attached — sees
+        # is_closed() and exits before claiming, and any new cache-miss
+        # point stalls the coordinator until stall_timeout_s.
+        queue.reopen()
         keyer = (ResultCache(self.cache_dir) if self.cache_dir
                  else NullCache())
         order = [(keyer.key_for(point.payload()), point)
@@ -151,6 +157,13 @@ class FileQueueScheduler:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=2.0)
+            if process.is_alive():
+                # SIGTERM is a graceful drain — a worker mid-point can
+                # outlive the grace period. Escalate so no live child
+                # leaks past run() (the temp-queue path deletes the
+                # queue directory right after this).
+                process.kill()
+                process.join(timeout=5.0)
 
     def _drive(self, queue: FileQueue, payloads: dict,
                workers: list, queue_dir: str) -> None:

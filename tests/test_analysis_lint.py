@@ -101,6 +101,18 @@ def save(path, text, tmp):
     os.replace(tmp, path)
 """)))
 
+    def test_allows_tmp_plus_exclusive_link(self):
+        # The exclusive-create publish (queue manifest): link a fully
+        # written tmp into place, EEXIST = lost the creation race.
+        assert not list(rule_atomic_writes(src("sweep/cache.py", """
+import os
+def publish(path, text, tmp):
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.link(tmp, path)
+    os.unlink(tmp)
+""")))
+
     def test_reads_are_fine(self):
         assert not list(rule_atomic_writes(src("sweep/cache.py", """
 def load(path):

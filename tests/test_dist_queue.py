@@ -23,7 +23,11 @@ from hypothesis.stateful import (
 )
 
 from repro.sweep.dist import FileQueue, QueueError, Task
-from repro.sweep.dist.queue import RECORD_SCHEMA, _write_json
+from repro.sweep.dist.queue import (
+    RECORD_SCHEMA,
+    _publish_exclusive,
+    _write_json,
+)
 
 
 def _fast_queue(root, **overrides) -> FileQueue:
@@ -226,6 +230,34 @@ class TestFileQueue:
         assert (stats["failures"], stats["expiries"],
                 stats["retries"]) == (1, 1, 2)
 
+    def test_claim_adopts_lease_record_after_winning_race(
+            self, tmp_path, monkeypatch):
+        # Between reading the pending record and winning os.replace, a
+        # racer can claim the task, fail it, and re-enqueue it. The
+        # eventual winner must adopt the re-enqueued record (the file
+        # it just moved), not write back its stale pre-claim copy —
+        # otherwise attempts/failures roll back and a poison point can
+        # outlive the quarantine budget.
+        queue = _fast_queue(tmp_path)
+        racer = FileQueue(tmp_path)
+        queue.enqueue("a", {"x": 1})
+        real_replace = os.replace
+        state = {"raced": False}
+
+        def interleaved(src, dst, *args, **kwargs):
+            if (not state["raced"]
+                    and Path(dst) == queue.leases_dir / "a.json"):
+                state["raced"] = True
+                task = racer.claim("racer")
+                assert racer.fail(task, "transient") == "retry"
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", interleaved)
+        task = queue.claim("w1")
+        assert task.attempts == 2  # racer's claim counted, not erased
+        record = json.loads((queue.leases_dir / "a.json").read_text())
+        assert record["failures"] == 1
+
     def test_manifest_is_adopted_by_later_processes(self, tmp_path):
         _fast_queue(tmp_path, lease_ttl_s=7.0, max_attempts=5)
         # A worker attaching with different constructor defaults must
@@ -233,6 +265,40 @@ class TestFileQueue:
         other = FileQueue(tmp_path, lease_ttl_s=99.0, max_attempts=1)
         assert other.lease_ttl_s == 7.0
         assert other.max_attempts == 5
+
+    def test_manifest_publish_is_exclusive(self, tmp_path):
+        path = tmp_path / "queue.json"
+        assert _publish_exclusive(path, {"winner": True})
+        assert not _publish_exclusive(path, {"winner": False})
+        assert json.loads(path.read_text())["winner"] is True
+        assert not list(tmp_path.glob(".*.tmp"))  # tmps cleaned up
+
+    def test_manifest_creation_race_has_single_winner(
+            self, tmp_path, monkeypatch):
+        # Two processes race to create the queue with different
+        # parameters: exactly one manifest may land, and the loser
+        # must adopt it — never re-read its own overwritten copy.
+        import repro.sweep.dist.queue as queue_module
+        real_publish = queue_module._publish_exclusive
+        state = {"racing": False}
+
+        def preempted(path, record):
+            if not state["racing"]:
+                state["racing"] = True
+                FileQueue(tmp_path, lease_ttl_s=7.0, max_attempts=5)
+            return real_publish(path, record)
+
+        monkeypatch.setattr(queue_module, "_publish_exclusive",
+                            preempted)
+        loser = FileQueue(tmp_path, lease_ttl_s=99.0, max_attempts=1)
+        assert loser.lease_ttl_s == 7.0
+        assert loser.max_attempts == 5
+
+    def test_unreadable_manifest_refuses_to_attach(self, tmp_path):
+        _fast_queue(tmp_path)
+        (tmp_path / "queue.json").write_text("not json {{{")
+        with pytest.raises(QueueError, match="unreadable queue manifest"):
+            FileQueue(tmp_path)
 
     def test_open_requires_a_manifest(self, tmp_path):
         with pytest.raises(QueueError, match="no queue manifest"):
@@ -252,6 +318,14 @@ class TestFileQueue:
         queue.close()
         assert queue.is_closed()
         assert FileQueue(tmp_path).is_closed()
+
+    def test_reopen_clears_close_marker(self, tmp_path):
+        queue = _fast_queue(tmp_path)
+        queue.close()
+        queue.reopen()
+        assert not queue.is_closed()
+        queue.reopen()  # idempotent when no marker exists
+        assert not queue.is_closed()
 
     def test_orphan_tmp_files_are_invisible_to_scans(self, tmp_path):
         queue = _fast_queue(tmp_path)

@@ -8,6 +8,7 @@ campaign behind ``repro chaos-sweep``."""
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import signal
 import subprocess
@@ -102,6 +103,29 @@ class TestFileQueueScheduler:
         assert [r.metrics for r in again.results] == \
             [r.metrics for r in fleet.results]
 
+    def test_persistent_queue_reopens_for_new_work_after_close(
+            self, tmp_path):
+        # Regression: run() leaves the campaign-complete marker behind
+        # in a persistent queue_dir. A second run dispatching NEW
+        # (cache-miss) points must clear it — otherwise every spawned
+        # worker sees is_closed() and exits before claiming, and the
+        # coordinator stalls until stall_timeout_s. This is the path
+        # every iterative `dse --scheduler filequeue` generation hits.
+        queue_dir = tmp_path / "queue"
+        scheduler = FileQueueScheduler(
+            jobs=1, queue_dir=str(queue_dir),
+            cache_dir=str(tmp_path / "cache"),
+            poll_s=0.05, stall_timeout_s=120.0)
+        first = scheduler.run([
+            SweepPoint(dataset="tiny", network="gcn", hidden_dim=8,
+                       feature_block=8)])
+        assert first[0].ok
+        assert FileQueue(queue_dir).is_closed()  # marker left behind
+        second = scheduler.run([
+            SweepPoint(dataset="tiny", network="gcn", hidden_dim=16,
+                       feature_block=8)])
+        assert second[0].ok
+
     def test_quarantined_point_surfaces_as_error_result(self, tmp_path):
         # Unknown datasets pass plan-time validation and fail at load
         # time inside the worker — the queue retries then quarantines,
@@ -149,6 +173,35 @@ class TestFileQueueScheduler:
         calls.clear()
         runner.run(plan)  # warm: every point cache-hits, no dispatch
         assert calls == []
+
+
+def _ignore_sigterm_and_sleep(started):
+    """Child target simulating a worker whose graceful drain outlives
+    the SIGTERM grace period (must be module-level / picklable)."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    started.set()
+    time.sleep(60.0)
+
+
+class TestJoinEscalation:
+    def test_join_kills_worker_that_outlives_sigterm_grace(self):
+        # The worker's SIGTERM handler is a graceful drain that
+        # finishes the in-flight point first; _join must escalate to
+        # SIGKILL so a slow point never leaks a live non-daemon child
+        # past run() (whose temp-queue path rmtree's the queue dir).
+        context = multiprocessing.get_context("fork")
+        started = context.Event()
+        process = context.Process(target=_ignore_sigterm_and_sleep,
+                                  args=(started,), daemon=False)
+        process.start()
+        try:
+            assert started.wait(30.0)
+            FileQueueScheduler(jobs=0)._join([process], timeout=0.1)
+            assert not process.is_alive()
+        finally:
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=5.0)
 
 
 class TestWorkerCli:
